@@ -1,0 +1,26 @@
+//! Regenerates paper Fig. 10 (sharing vs GTO / Two-Level baselines) in quick
+//! mode, and benchmarks the scheduler implementations via full simulations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs_bench::runner::shrink_grid;
+use grs_sim::{RunConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    grs_bench::experiments::fig10(true);
+    let mut k = grs_workloads::set1::sgemm();
+    shrink_grid(&mut k, 12);
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    for (name, cfg) in [
+        ("lrr", RunConfig::baseline_lrr()),
+        ("gto", RunConfig::baseline_gto()),
+        ("two-level", RunConfig::baseline_two_level()),
+    ] {
+        let sim = Simulator::new(cfg);
+        g.bench_function(format!("sgemm/{name}"), |b| b.iter(|| sim.run(&k)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates paper Fig. 11 (sharing at 1x resources vs unshared LRR at 2x
+//! resources) in quick mode, and benchmarks the doubled-register machine.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs_bench::runner::shrink_grid;
+use grs_core::GpuConfig;
+use grs_sim::{RunConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    grs_bench::experiments::fig11(true);
+    let mut k = grs_workloads::set1::lib();
+    shrink_grid(&mut k, 12);
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    let doubled = Simulator::new(RunConfig::baseline_lrr().with_gpu(GpuConfig::doubled_registers()));
+    g.bench_function("lib/unshared-lrr-64k-regs", |b| b.iter(|| doubled.run(&k)));
+    let shared = Simulator::new(RunConfig::paper_register_sharing());
+    g.bench_function("lib/shared-owf-32k-regs", |b| b.iter(|| shared.run(&k)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Regenerates paper Fig. 12 (Set-3 policy equivalences) in quick mode and
+//! benchmarks a Set-3 kernel under the degenerate sharing plan.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs_bench::runner::shrink_grid;
+use grs_sim::{RunConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    grs_bench::experiments::fig12(true);
+    let mut k = grs_workloads::set3::bfs();
+    shrink_grid(&mut k, 12);
+    let mut g = c.benchmark_group("fig12");
+    g.sample_size(10);
+    let base = Simulator::new(RunConfig::baseline_lrr());
+    g.bench_function("bfs/unshared-lrr", |b| b.iter(|| base.run(&k)));
+    let shared = Simulator::new(RunConfig::paper_register_sharing());
+    g.bench_function("bfs/shared-degenerate", |b| b.iter(|| shared.run(&k)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

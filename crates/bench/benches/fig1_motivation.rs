@@ -1,0 +1,22 @@
+//! Regenerates paper Fig. 1 (motivation: resident blocks + resource waste)
+//! and benchmarks the occupancy calculator itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs_core::{occupancy, GpuConfig, KernelFootprint};
+
+fn bench(c: &mut Criterion) {
+    grs_bench::experiments::fig1();
+    let sm = GpuConfig::paper_baseline().sm;
+    let fps: Vec<KernelFootprint> = grs_workloads::all_benchmarks()
+        .iter()
+        .map(|(_, k)| KernelFootprint::of(k))
+        .collect();
+    c.bench_function("occupancy/all-19-benchmarks", |b| {
+        b.iter(|| {
+            fps.iter().map(|fp| occupancy(&sm, std::hint::black_box(fp)).blocks).sum::<u32>()
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

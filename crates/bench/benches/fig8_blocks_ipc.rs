@@ -1,0 +1,21 @@
+//! Regenerates paper Fig. 8 (resident blocks + IPC improvement for register
+//! and scratchpad sharing) in quick mode, and benchmarks a representative
+//! end-to-end simulation (hotspot under the full register-sharing stack).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs_bench::runner::shrink_grid;
+use grs_sim::{RunConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    grs_bench::experiments::fig8(true);
+    let mut k = grs_workloads::set1::hotspot();
+    shrink_grid(&mut k, 12);
+    let sim = Simulator::new(RunConfig::paper_register_sharing());
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("hotspot/shared-owf-unroll-dyn", |b| b.iter(|| sim.run(&k)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

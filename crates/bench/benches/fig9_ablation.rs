@@ -1,0 +1,28 @@
+//! Regenerates paper Fig. 9 (optimization ablation + stall/idle decrease)
+//! in quick mode, and benchmarks the ablation endpoints.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs_bench::runner::shrink_grid;
+use grs_core::SchedulerKind;
+use grs_sim::{RunConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    grs_bench::experiments::fig9(true);
+    let mut k = grs_workloads::set1::mum();
+    shrink_grid(&mut k, 12);
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    let noopt = Simulator::new(
+        RunConfig::paper_register_sharing()
+            .with_scheduler(SchedulerKind::Lrr)
+            .with_reorder_decls(false)
+            .with_dyn_throttle(false),
+    );
+    g.bench_function("mum/shared-lrr-noopt", |b| b.iter(|| noopt.run(&k)));
+    let full = Simulator::new(RunConfig::paper_register_sharing());
+    g.bench_function("mum/shared-owf-unroll-dyn", |b| b.iter(|| full.run(&k)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Raw simulator throughput: simulated cycles per wall-second on compute-
+//! and memory-bound kernels (not a paper artifact; tracks the substrate's
+//! own performance).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grs_bench::runner::shrink_grid;
+use grs_sim::{RunConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    let sim = Simulator::new(RunConfig::baseline_lrr());
+    let mut g = c.benchmark_group("sim_throughput");
+    g.sample_size(10);
+    for (name, mut k) in [
+        ("hotspot", grs_workloads::set1::hotspot()),
+        ("mum", grs_workloads::set1::mum()),
+        ("nw1", grs_workloads::set2::nw1()),
+    ] {
+        shrink_grid(&mut k, 12);
+        let cycles = sim.run(&k).cycles;
+        g.throughput(Throughput::Elements(cycles));
+        g.bench_function(format!("{name}/cycles-per-sec"), |b| b.iter(|| sim.run(&k)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Regenerates paper Tables VII/VIII (IPC and resident blocks vs %scratchpad
+//! sharing) in quick mode and benchmarks two sweep points.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grs_bench::runner::shrink_grid;
+use grs_core::Threshold;
+use grs_sim::{RunConfig, Simulator};
+
+fn bench(c: &mut Criterion) {
+    grs_bench::experiments::table7(true);
+    let mut k = grs_workloads::set2::lavamd();
+    shrink_grid(&mut k, 12);
+    let mut g = c.benchmark_group("table7");
+    g.sample_size(10);
+    for pct in [50.0, 90.0] {
+        let cfg = RunConfig::paper_scratchpad_sharing()
+            .with_threshold(Threshold::from_sharing_pct(pct).unwrap());
+        let sim = Simulator::new(cfg);
+        g.bench_function(format!("lavamd/sharing-{pct}pct"), |b| b.iter(|| sim.run(&k)));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! # grs-bench — experiment harness
+//!
+//! Library backing the `repro` binary and the Criterion benches: a parallel
+//! simulation runner ([`runner`]) plus one function per paper table/figure
+//! ([`experiments`]). Each experiment prints the same rows/series the paper
+//! reports so that EXPERIMENTS.md can record paper-vs-measured side by side.
+
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{run_all, Job};

@@ -1,0 +1,62 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--quick]
+//!
+//! experiments:
+//!   config   Table I machine description
+//!   suites   Tables II/III/IV benchmark footprints
+//!   hwcost   Sec. V hardware storage overhead
+//!   fig1     Fig. 1  motivation: resident blocks + resource waste
+//!   fig8     Fig. 8  resident blocks and IPC improvement (reg + scratchpad)
+//!   fig9     Fig. 9  optimization ablation + stall/idle decrease
+//!   fig10    Fig. 10 sharing vs GTO and Two-Level baselines
+//!   fig11    Fig. 11 sharing vs doubled-resource LRR baselines
+//!   fig12    Fig. 12 Set-3 policy equivalences
+//!   table5   Table V/VI  IPC and blocks vs %register sharing
+//!   table7   Table VII/VIII IPC and blocks vs %scratchpad sharing
+//!   all      everything above
+//! ```
+//!
+//! `--quick` divides grid sizes by 4 for fast smoke runs.
+
+use grs_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+
+    let run = |name: &str| match name {
+        "config" => experiments::print_config(),
+        "suites" => experiments::print_suites(),
+        "hwcost" => experiments::print_hwcost(),
+        "fig1" => experiments::fig1(),
+        "fig8" => experiments::fig8(quick),
+        "fig9" => experiments::fig9(quick),
+        "fig10" => experiments::fig10(quick),
+        "fig11" => experiments::fig11(quick),
+        "fig12" => experiments::fig12(quick),
+        "table5" => experiments::table5(quick),
+        "table7" => experiments::table7(quick),
+        other => {
+            if let Some(bench) = other.strip_prefix("inspect=") {
+                experiments::inspect(bench, quick);
+            } else {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        }
+    };
+
+    if what == "all" {
+        for name in [
+            "config", "suites", "hwcost", "fig1", "fig8", "fig9", "fig10", "fig11", "fig12",
+            "table5", "table7",
+        ] {
+            run(name);
+        }
+    } else {
+        run(what);
+    }
+}

@@ -1,0 +1,102 @@
+//! Parallel simulation runner.
+//!
+//! Individual simulations are strictly serial (cycle-accurate state), but
+//! experiments sweep many independent (configuration, kernel) pairs; those
+//! fan out over a crossbeam scope with a simple shared work queue.
+
+use crossbeam::thread;
+use grs_isa::Kernel;
+use grs_sim::{RunConfig, SimStats, Simulator};
+use parking_lot::Mutex;
+
+/// One simulation to run.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Label carried through to the result (figure row/series name).
+    pub label: String,
+    /// Run configuration.
+    pub cfg: RunConfig,
+    /// Kernel to simulate.
+    pub kernel: Kernel,
+}
+
+impl Job {
+    /// Convenience constructor.
+    pub fn new(label: impl Into<String>, cfg: RunConfig, kernel: Kernel) -> Self {
+        Job { label: label.into(), cfg, kernel }
+    }
+}
+
+/// Scale a kernel's grid down for `--quick` smoke runs (at least one wave).
+pub fn shrink_grid(kernel: &mut Kernel, divisor: u32) {
+    kernel.grid_blocks = (kernel.grid_blocks / divisor).max(28);
+}
+
+/// Run every job, in parallel across available cores; results come back in
+/// job order.
+pub fn run_all(jobs: Vec<Job>) -> Vec<(String, SimStats)> {
+    let n = jobs.len();
+    let queue = Mutex::new((0usize, jobs));
+    let results: Vec<Mutex<Option<(String, SimStats)>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+
+    thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let (idx, job) = {
+                    let mut q = queue.lock();
+                    if q.0 >= q.1.len() {
+                        break;
+                    }
+                    let idx = q.0;
+                    q.0 += 1;
+                    (idx, q.1[idx].clone())
+                };
+                let stats = Simulator::new(job.cfg).run(&job.kernel);
+                *results[idx].lock() = Some((job.label, stats));
+            });
+        }
+    })
+    .expect("runner threads must not panic");
+
+    results.into_iter().map(|m| m.into_inner().expect("job completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_isa::KernelBuilder;
+
+    #[test]
+    fn runs_jobs_in_order() {
+        let mut cfg = RunConfig::baseline_lrr();
+        cfg.gpu.num_sms = 1;
+        let k = |n: u32| {
+            KernelBuilder::new(format!("k{n}"))
+                .threads_per_block(32)
+                .regs_per_thread(8)
+                .grid_blocks(n)
+                .ialu(3)
+                .build()
+        };
+        let jobs =
+            vec![Job::new("a", cfg.clone(), k(1)), Job::new("b", cfg.clone(), k(2)), Job::new("c", cfg, k(3))];
+        let out = run_all(jobs);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].0, "a");
+        assert_eq!(out[2].0, "c");
+        assert_eq!(out[0].1.blocks_completed, 1);
+        assert_eq!(out[2].1.blocks_completed, 3);
+    }
+
+    #[test]
+    fn shrink_grid_floors_at_one_wave() {
+        let mut k = KernelBuilder::new("k").grid_blocks(168).ialu(1).build();
+        shrink_grid(&mut k, 4);
+        assert_eq!(k.grid_blocks, 42);
+        let mut tiny = KernelBuilder::new("t").grid_blocks(8).ialu(1).build();
+        shrink_grid(&mut tiny, 4);
+        assert_eq!(tiny.grid_blocks, 28);
+    }
+}

@@ -1,0 +1,111 @@
+//! Hardware storage-overhead model (paper Sec. V).
+//!
+//! Implementing sharing needs a handful of bits per SM:
+//!
+//! * 1 bit — "sharing mode enabled" flag;
+//! * `T·⌈log2(T+1)⌉` bits — partner-block id per block (id `T` encodes −1);
+//! * `W` bits — owner flag per warp;
+//! * register sharing additionally: `W` bits (shared/unshared per warp) and
+//!   `⌊W/2⌋·⌈log2 W⌉` bits of per-warp-pair lock variables;
+//! * scratchpad sharing additionally: `⌊T/2⌋·⌈log2 T⌉` bits of per-block-pair
+//!   lock variables;
+//!
+//! all multiplied by the number of SMs `N`. Two comparator circuits per SM
+//! implement the Fig. 3/Fig. 4 boundary checks (steps (b) and (c)); they are
+//! reported separately as they are logic, not storage.
+
+use crate::config::GpuConfig;
+
+/// `⌈log2(x)⌉` with the convention `ceil_log2(0) = 0`, `ceil_log2(1) = 0`.
+#[inline]
+pub fn ceil_log2(x: u32) -> u32 {
+    if x <= 1 {
+        0
+    } else {
+        32 - (x - 1).leading_zeros()
+    }
+}
+
+/// Storage (bits) for register sharing on a GPU with `n` SMs, `t` block slots
+/// and `w` warp slots per SM (paper Sec. V):
+/// `(1 + T·⌈log2(T+1)⌉ + 2W + ⌊W/2⌋·⌈log2 W⌉) · N`.
+pub fn register_sharing_bits(t: u32, w: u32, n: u32) -> u64 {
+    let per_sm = 1 + u64::from(t) * u64::from(ceil_log2(t + 1))
+        + 2 * u64::from(w)
+        + u64::from(w / 2) * u64::from(ceil_log2(w));
+    per_sm * u64::from(n)
+}
+
+/// Storage (bits) for scratchpad sharing (paper Sec. V):
+/// `(1 + T·⌈log2(T+1)⌉ + W + ⌊T/2⌋·⌈log2 T⌉) · N`.
+pub fn scratchpad_sharing_bits(t: u32, w: u32, n: u32) -> u64 {
+    let per_sm = 1 + u64::from(t) * u64::from(ceil_log2(t + 1))
+        + u64::from(w)
+        + u64::from(t / 2) * u64::from(ceil_log2(t));
+    per_sm * u64::from(n)
+}
+
+/// Overhead summary for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwCost {
+    /// Register-sharing storage in bits (whole GPU).
+    pub register_sharing_bits: u64,
+    /// Scratchpad-sharing storage in bits (whole GPU).
+    pub scratchpad_sharing_bits: u64,
+    /// Comparator circuits per SM (Fig. 3/4 steps (b) and (c)).
+    pub comparators_per_sm: u32,
+}
+
+/// Evaluate the Sec. V cost model for `cfg`, with warp slots derived from the
+/// max-threads limit.
+pub fn hw_cost(cfg: &GpuConfig) -> HwCost {
+    let t = cfg.sm.max_blocks;
+    let w = cfg.sm.max_threads / grs_isa::WARP_SIZE;
+    HwCost {
+        register_sharing_bits: register_sharing_bits(t, w, cfg.num_sms),
+        scratchpad_sharing_bits: scratchpad_sharing_bits(t, w, cfg.num_sms),
+        comparators_per_sm: 2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ceil_log2_values() {
+        assert_eq!(ceil_log2(0), 0);
+        assert_eq!(ceil_log2(1), 0);
+        assert_eq!(ceil_log2(2), 1);
+        assert_eq!(ceil_log2(3), 2);
+        assert_eq!(ceil_log2(8), 3);
+        assert_eq!(ceil_log2(9), 4);
+        assert_eq!(ceil_log2(48), 6);
+    }
+
+    #[test]
+    fn paper_baseline_costs() {
+        // Table I machine: T = 8 blocks, W = 1536/32 = 48 warps, N = 14.
+        // Register sharing per SM:
+        //   1 + 8·⌈log2 9⌉ + 2·48 + 24·⌈log2 48⌉ = 1 + 32 + 96 + 144 = 273.
+        assert_eq!(register_sharing_bits(8, 48, 1), 273);
+        assert_eq!(register_sharing_bits(8, 48, 14), 273 * 14);
+        // Scratchpad sharing per SM:
+        //   1 + 32 + 48 + 4·3 = 93.
+        assert_eq!(scratchpad_sharing_bits(8, 48, 1), 93);
+        assert_eq!(scratchpad_sharing_bits(8, 48, 14), 93 * 14);
+
+        let cost = hw_cost(&GpuConfig::paper_baseline());
+        assert_eq!(cost.register_sharing_bits, 273 * 14);
+        assert_eq!(cost.scratchpad_sharing_bits, 93 * 14);
+        assert_eq!(cost.comparators_per_sm, 2);
+        // Sanity: the whole mechanism costs < 500 bytes of state on the GPU.
+        assert!(cost.register_sharing_bits / 8 < 500);
+    }
+
+    #[test]
+    fn cost_scales_linearly_with_sms() {
+        assert_eq!(register_sharing_bits(8, 48, 28), 2 * register_sharing_bits(8, 48, 14));
+        assert_eq!(scratchpad_sharing_bits(8, 48, 28), 2 * scratchpad_sharing_bits(8, 48, 14));
+    }
+}

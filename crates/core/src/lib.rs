@@ -1,0 +1,42 @@
+//! # grs-core — the resource-sharing runtime
+//!
+//! This crate is the paper's primary contribution as a reusable library:
+//! everything *Improving GPU Performance Through Resource Sharing* (Jatala,
+//! Anantpur, Karkare; HPDC'16) adds on top of a baseline GPU, expressed as
+//! pure, deterministic policy objects that a timing simulator (or, in
+//! principle, RTL) drives:
+//!
+//! * [`config`] — the Table I machine description.
+//! * [`occupancy`] — block-residency and resource-waste arithmetic
+//!   (paper Sec. I-A, Fig. 1).
+//! * [`sharing`] — the launch-plan equations of Sec. III-C (`U + S = ⌊R/Rtb⌋`,
+//!   `U·Rtb + S·Rtb(1+t) ≤ R`, `M = U + 2S`), the pair-lock automata of
+//!   Figs. 3–4 with the barrier-deadlock avoidance rule of Fig. 5, and
+//!   block-pair ownership tracking/transfer (Sec. IV).
+//! * [`sched`] — warp-scheduling policies: LRR, GTO, Two-Level and the
+//!   paper's Owner-Warp-First (OWF).
+//! * [`transform`] — the "Unrolling and Reordering of Register Declarations"
+//!   compiler pass (Sec. IV-B, Fig. 7).
+//! * [`dynwarp`] — the Dynamic Warp Execution throttle (Sec. IV-C).
+//! * [`hw_cost`] — the hardware storage-overhead formulas of Sec. V.
+//!
+//! All of it is IO-free, allocation-light, and fully deterministic, so the
+//! simulator built on top is reproducible bit-for-bit.
+
+pub mod config;
+pub mod dynwarp;
+pub mod hw_cost;
+pub mod occupancy;
+pub mod sched;
+pub mod sharing;
+pub mod transform;
+
+pub use config::{GpuConfig, LatencyConfig, MemConfig, SmConfig};
+pub use dynwarp::DynThrottle;
+pub use occupancy::{occupancy, Occupancy};
+pub use sched::{Scheduler, SchedulerKind, WarpClass, WarpView};
+pub use sharing::{
+    compute_launch_plan, KernelFootprint, LaunchPlan, PairMember, RegAccess, RegPairLocks,
+    ResourceKind, SmemPairLock, Threshold,
+};
+pub use transform::reorder_declarations;

@@ -1,0 +1,169 @@
+//! Baseline occupancy and resource-waste arithmetic (paper Sec. I-A, Fig. 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SmConfig;
+use crate::sharing::KernelFootprint;
+
+/// Which launch constraint binds the baseline block count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LimitingFactor {
+    /// Register file (`⌊R/Rtb⌋` smallest).
+    Registers,
+    /// Scratchpad memory.
+    Scratchpad,
+    /// Max resident threads per SM.
+    Threads,
+    /// Max resident blocks per SM.
+    Blocks,
+}
+
+impl std::fmt::Display for LimitingFactor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            LimitingFactor::Registers => "registers",
+            LimitingFactor::Scratchpad => "scratchpad",
+            LimitingFactor::Threads => "threads",
+            LimitingFactor::Blocks => "blocks",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of the baseline (non-sharing) occupancy computation for one kernel
+/// on one SM.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Occupancy {
+    /// Resident thread blocks (`min` over all four constraints; paper
+    /// Sec. II).
+    pub blocks: u32,
+    /// Which constraint produced `blocks` (ties resolved in the order
+    /// registers, scratchpad, threads, blocks — the paper's Set-1/2/3
+    /// classification order).
+    pub limiting: LimitingFactor,
+    /// Per-constraint limits, for reporting.
+    pub reg_limit: u32,
+    /// Blocks allowed by scratchpad capacity.
+    pub smem_limit: u32,
+    /// Blocks allowed by the max-threads limit.
+    pub thread_limit: u32,
+    /// Blocks allowed by the max-blocks limit.
+    pub block_limit: u32,
+    /// Registers left unallocated (`R mod Rtb` when register-limited, else
+    /// whatever the resident blocks leave over).
+    pub wasted_registers: u32,
+    /// Scratchpad bytes left unallocated.
+    pub wasted_scratchpad: u32,
+}
+
+impl Occupancy {
+    /// Percentage of the SM's registers wasted (paper Fig. 1(b)).
+    pub fn register_waste_pct(&self, sm: &SmConfig) -> f64 {
+        100.0 * f64::from(self.wasted_registers) / f64::from(sm.registers)
+    }
+
+    /// Percentage of the SM's scratchpad wasted (paper Fig. 1(d)).
+    pub fn scratchpad_waste_pct(&self, sm: &SmConfig) -> f64 {
+        100.0 * f64::from(self.wasted_scratchpad) / f64::from(sm.scratchpad_bytes)
+    }
+}
+
+/// Compute baseline (non-sharing) occupancy of `kernel` on an SM described by
+/// `sm`: the number of resident blocks is the minimum over the four
+/// constraints of paper Sec. II, and the waste figures are what Fig. 1
+/// plots.
+pub fn occupancy(sm: &SmConfig, kernel: &KernelFootprint) -> Occupancy {
+    let reg_limit = if kernel.regs_per_block() == 0 {
+        u32::MAX
+    } else {
+        sm.registers / kernel.regs_per_block()
+    };
+    let smem_limit = if kernel.smem_per_block == 0 {
+        u32::MAX
+    } else {
+        sm.scratchpad_bytes / kernel.smem_per_block
+    };
+    let thread_limit = sm.max_threads / kernel.threads_per_block.max(1);
+    let block_limit = sm.max_blocks;
+
+    let blocks = reg_limit.min(smem_limit).min(thread_limit).min(block_limit);
+    let limiting = if blocks == reg_limit {
+        LimitingFactor::Registers
+    } else if blocks == smem_limit {
+        LimitingFactor::Scratchpad
+    } else if blocks == thread_limit {
+        LimitingFactor::Threads
+    } else {
+        LimitingFactor::Blocks
+    };
+
+    Occupancy {
+        blocks,
+        limiting,
+        reg_limit,
+        smem_limit,
+        thread_limit,
+        block_limit,
+        wasted_registers: sm.registers - blocks.saturating_mul(kernel.regs_per_block()).min(sm.registers),
+        wasted_scratchpad: sm.scratchpad_bytes
+            - blocks.saturating_mul(kernel.smem_per_block).min(sm.scratchpad_bytes),
+        }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+
+    fn sm() -> SmConfig {
+        GpuConfig::paper_baseline().sm
+    }
+
+    fn fp(threads: u32, regs: u32, smem: u32) -> KernelFootprint {
+        KernelFootprint { threads_per_block: threads, regs_per_thread: regs, smem_per_block: smem }
+    }
+
+    #[test]
+    fn hotspot_motivating_example() {
+        // Paper Sec. I-A: hotspot 36 regs × 256 threads = 9216/block → 3
+        // blocks, 5120 registers wasted.
+        let occ = occupancy(&sm(), &fp(256, 36, 0));
+        assert_eq!(occ.blocks, 3);
+        assert_eq!(occ.limiting, LimitingFactor::Registers);
+        assert_eq!(occ.wasted_registers, 32768 - 3 * 9216);
+        assert_eq!(occ.wasted_registers, 5120);
+        assert!((occ.register_waste_pct(&sm()) - 15.625).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lavamd_motivating_example() {
+        // Paper Sec. I-A: lavaMD 7200 bytes/block → 2 blocks, 1984 bytes
+        // wasted.
+        let occ = occupancy(&sm(), &fp(128, 20, 7200));
+        assert_eq!(occ.blocks, 2);
+        assert_eq!(occ.limiting, LimitingFactor::Scratchpad);
+        assert_eq!(occ.wasted_scratchpad, 1984);
+    }
+
+    #[test]
+    fn thread_limited_kernel() {
+        // 512 threads/block, tiny resources → 1536/512 = 3 blocks.
+        let occ = occupancy(&sm(), &fp(512, 4, 0));
+        assert_eq!(occ.blocks, 3);
+        assert_eq!(occ.limiting, LimitingFactor::Threads);
+    }
+
+    #[test]
+    fn block_limited_kernel() {
+        let occ = occupancy(&sm(), &fp(32, 2, 0));
+        assert_eq!(occ.blocks, 8);
+        assert_eq!(occ.limiting, LimitingFactor::Blocks);
+    }
+
+    #[test]
+    fn zero_resource_kernels_do_not_divide_by_zero() {
+        let occ = occupancy(&sm(), &fp(96, 0, 0));
+        assert_eq!(occ.blocks, 8); // block-limited
+        assert_eq!(occ.wasted_registers, 32768);
+    }
+}

@@ -1,0 +1,383 @@
+//! Warp-scheduling policies.
+//!
+//! Each SM has `SmConfig::schedulers` scheduler units; warps are statically
+//! partitioned among them by slot index (GPGPU-Sim's arrangement). Every
+//! cycle each unit picks at most one *ready* warp. The policies:
+//!
+//! * **LRR** — loose round robin, the paper's baseline (Table I).
+//! * **GTO** — greedy-then-oldest: keep issuing the same warp until it
+//!   stalls, then fall back to the oldest ready warp (by dynamic id).
+//! * **Two-Level** — Narasiman et al.'s fetch groups: round robin inside an
+//!   active group, switch groups when the active group has no ready warp.
+//! * **OWF** — the paper's Owner-Warp-First (Sec. IV-A): strict priority
+//!   *owner > unshared > non-owner*, ties broken by dynamic warp id. With no
+//!   sharing active every warp is unshared, so OWF degenerates to
+//!   oldest-first — which is why the paper observes Shared-OWF ≈
+//!   Unshared-GTO on Set-3 (Sec. VI-B2).
+
+use serde::{Deserialize, Serialize};
+
+/// Scheduling class of a warp under resource sharing (paper Sec. IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum WarpClass {
+    /// Warp of an owner block (holds shared resources): highest priority —
+    /// finishing it unblocks its dependent non-owner warps.
+    Owner,
+    /// Warp of an unshared block.
+    Unshared,
+    /// Warp of a non-owner shared block: lowest priority, used to fill
+    /// stall cycles only.
+    NonOwner,
+}
+
+impl WarpClass {
+    /// OWF priority rank; lower is scheduled first.
+    #[inline]
+    pub fn rank(self) -> u8 {
+        match self {
+            WarpClass::Owner => 0,
+            WarpClass::Unshared => 1,
+            WarpClass::NonOwner => 2,
+        }
+    }
+}
+
+/// A scheduler's per-cycle view of one warp slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpView {
+    /// Slot index within the SM (determines the scheduler partition).
+    pub slot: usize,
+    /// Monotonic launch-order id; smaller = older ("dynamic warp id").
+    pub dynamic_id: u64,
+    /// Sharing class for OWF.
+    pub class: WarpClass,
+    /// Can this warp issue an instruction this cycle?
+    pub ready: bool,
+}
+
+/// Which scheduling policy to instantiate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchedulerKind {
+    /// Loose round robin (baseline).
+    Lrr,
+    /// Greedy-then-oldest.
+    Gto,
+    /// Two-level with the given fetch-group size (paper uses 8).
+    TwoLevel {
+        /// Warps per fetch group.
+        group_size: u32,
+    },
+    /// Owner-warp-first (the paper's optimization).
+    Owf,
+}
+
+impl SchedulerKind {
+    /// Canonical name used in figures and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchedulerKind::Lrr => "LRR",
+            SchedulerKind::Gto => "GTO",
+            SchedulerKind::TwoLevel { .. } => "2LV",
+            SchedulerKind::Owf => "OWF",
+        }
+    }
+
+    /// Instantiate per-unit state for an SM with `num_slots` warp slots and
+    /// `units` scheduler units.
+    pub fn build(self, num_slots: usize, units: usize) -> Scheduler {
+        match self {
+            SchedulerKind::Lrr => Scheduler::Lrr { next: vec![0; units] },
+            SchedulerKind::Gto => Scheduler::Gto { last: vec![None; units] },
+            SchedulerKind::TwoLevel { group_size } => Scheduler::TwoLevel {
+                group_size: group_size.max(1) as usize,
+                active_group: vec![0; units],
+                next_in_group: vec![0; units],
+                num_slots,
+            },
+            SchedulerKind::Owf => Scheduler::Owf { last: vec![None; units] },
+        }
+    }
+}
+
+impl std::fmt::Display for SchedulerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Scheduler state (one instance per SM; internal vectors are per unit).
+#[derive(Debug, Clone)]
+pub enum Scheduler {
+    /// Loose round robin: rotate a pointer over the unit's slots.
+    Lrr {
+        /// Next slot to consider, per unit.
+        next: Vec<usize>,
+    },
+    /// Greedy-then-oldest.
+    Gto {
+        /// Last issued slot, per unit.
+        last: Vec<Option<usize>>,
+    },
+    /// Two-level warp scheduling.
+    TwoLevel {
+        /// Fetch-group size in warps.
+        group_size: usize,
+        /// Active group per unit.
+        active_group: Vec<usize>,
+        /// RR pointer within the active group, per unit.
+        next_in_group: Vec<usize>,
+        /// Total SM warp slots.
+        num_slots: usize,
+    },
+    /// Owner-warp-first: strict class priority, greedy within a class (so
+    /// that with no sharing active it degenerates to GTO, as the paper
+    /// observes on Set-3).
+    Owf {
+        /// Last issued slot, per unit.
+        last: Vec<Option<usize>>,
+    },
+}
+
+impl Scheduler {
+    /// Pick a warp for scheduler `unit` among `views` (the full SM view;
+    /// the policy only considers slots with `slot % units == unit`). Returns
+    /// the chosen slot. `views` must be sorted by `slot` (the simulator's
+    /// natural order).
+    pub fn pick(&mut self, unit: usize, units: usize, views: &[WarpView]) -> Option<usize> {
+        debug_assert!(views.windows(2).all(|w| w[0].slot < w[1].slot));
+        let mine = |v: &WarpView| v.slot % units == unit;
+        match self {
+            Scheduler::Lrr { next } => {
+                let n = views.len();
+                if n == 0 {
+                    return None;
+                }
+                let start = next[unit] % n;
+                for off in 0..n {
+                    let v = &views[(start + off) % n];
+                    if mine(v) && v.ready {
+                        next[unit] = (start + off + 1) % n;
+                        return Some(v.slot);
+                    }
+                }
+                None
+            }
+            Scheduler::Gto { last } => {
+                if let Some(slot) = last[unit] {
+                    if let Some(v) = views.iter().find(|v| v.slot == slot) {
+                        if v.ready && mine(v) {
+                            return Some(slot);
+                        }
+                    }
+                }
+                let pick = views
+                    .iter()
+                    .filter(|v| mine(v) && v.ready)
+                    .min_by_key(|v| v.dynamic_id)
+                    .map(|v| v.slot);
+                last[unit] = pick;
+                pick
+            }
+            Scheduler::TwoLevel { group_size, active_group, next_in_group, num_slots } => {
+                if *num_slots == 0 {
+                    return None;
+                }
+                let groups = num_slots.div_ceil(*group_size).max(1);
+                // Try the active group first, then rotate through the rest.
+                for g_off in 0..groups {
+                    let g = (active_group[unit] + g_off) % groups;
+                    let lo = g * *group_size;
+                    let hi = (lo + *group_size).min(*num_slots);
+                    let width = hi.saturating_sub(lo);
+                    if width == 0 {
+                        continue;
+                    }
+                    // A freshly-entered group starts its round robin at the
+                    // beginning; the active group resumes from its pointer.
+                    let start =
+                        if g == active_group[unit] { next_in_group[unit] % width } else { 0 };
+                    for off in 0..width {
+                        let slot = lo + (start + off) % width;
+                        if let Some(v) = views.iter().find(|v| v.slot == slot) {
+                            if mine(v) && v.ready {
+                                active_group[unit] = g;
+                                next_in_group[unit] = ((slot - lo) + 1) % width;
+                                return Some(slot);
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            Scheduler::Owf { last } => {
+                let best = views
+                    .iter()
+                    .filter(|v| mine(v) && v.ready)
+                    .min_by_key(|v| (v.class.rank(), v.dynamic_id));
+                let Some(best) = best else {
+                    // The greedy warp lost its streak; forget it so the next
+                    // pick falls to the oldest ready warp (matching GTO's
+                    // behaviour when everything stalls).
+                    last[unit] = None;
+                    return None;
+                };
+                // Greedy within the best class: keep issuing the previously
+                // chosen warp while it stays ready and no higher class shows
+                // up.
+                if let Some(slot) = last[unit] {
+                    if let Some(v) = views.iter().find(|v| v.slot == slot) {
+                        if v.ready && mine(v) && v.class.rank() <= best.class.rank() {
+                            return Some(slot);
+                        }
+                    }
+                }
+                last[unit] = Some(best.slot);
+                Some(best.slot)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(slot: usize, id: u64, class: WarpClass, ready: bool) -> WarpView {
+        WarpView { slot, dynamic_id: id, class, ready }
+    }
+
+    fn all_unshared(ready: &[bool]) -> Vec<WarpView> {
+        ready
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| v(i, i as u64, WarpClass::Unshared, r))
+            .collect()
+    }
+
+    #[test]
+    fn lrr_rotates() {
+        let mut s = SchedulerKind::Lrr.build(4, 1);
+        let views = all_unshared(&[true, true, true, true]);
+        assert_eq!(s.pick(0, 1, &views), Some(0));
+        assert_eq!(s.pick(0, 1, &views), Some(1));
+        assert_eq!(s.pick(0, 1, &views), Some(2));
+        assert_eq!(s.pick(0, 1, &views), Some(3));
+        assert_eq!(s.pick(0, 1, &views), Some(0));
+    }
+
+    #[test]
+    fn lrr_skips_unready() {
+        let mut s = SchedulerKind::Lrr.build(4, 1);
+        let views = all_unshared(&[false, true, false, true]);
+        assert_eq!(s.pick(0, 1, &views), Some(1));
+        assert_eq!(s.pick(0, 1, &views), Some(3));
+        assert_eq!(s.pick(0, 1, &views), Some(1));
+    }
+
+    #[test]
+    fn lrr_partitions_by_unit() {
+        let mut s = SchedulerKind::Lrr.build(4, 2);
+        let views = all_unshared(&[true, true, true, true]);
+        // Unit 0 owns even slots, unit 1 odd slots.
+        assert_eq!(s.pick(0, 2, &views), Some(0));
+        assert_eq!(s.pick(1, 2, &views), Some(1));
+        assert_eq!(s.pick(0, 2, &views), Some(2));
+        assert_eq!(s.pick(1, 2, &views), Some(3));
+    }
+
+    #[test]
+    fn gto_is_greedy() {
+        let mut s = SchedulerKind::Gto.build(3, 1);
+        let mut views = all_unshared(&[true, true, true]);
+        assert_eq!(s.pick(0, 1, &views), Some(0)); // oldest
+        assert_eq!(s.pick(0, 1, &views), Some(0)); // greedy
+        views[0].ready = false;
+        assert_eq!(s.pick(0, 1, &views), Some(1)); // falls to next oldest
+        views[0].ready = true;
+        assert_eq!(s.pick(0, 1, &views), Some(1)); // stays greedy on 1
+    }
+
+    #[test]
+    fn gto_picks_oldest_by_dynamic_id_not_slot() {
+        let mut s = SchedulerKind::Gto.build(3, 1);
+        let views = vec![
+            v(0, 30, WarpClass::Unshared, true),
+            v(1, 10, WarpClass::Unshared, true),
+            v(2, 20, WarpClass::Unshared, true),
+        ];
+        assert_eq!(s.pick(0, 1, &views), Some(1));
+    }
+
+    #[test]
+    fn owf_priority_order() {
+        let mut s = SchedulerKind::Owf.build(3, 1);
+        let views = vec![
+            v(0, 0, WarpClass::NonOwner, true),
+            v(1, 1, WarpClass::Unshared, true),
+            v(2, 2, WarpClass::Owner, true),
+        ];
+        assert_eq!(s.pick(0, 1, &views), Some(2)); // owner first
+        let views2 = vec![
+            v(0, 0, WarpClass::NonOwner, true),
+            v(1, 1, WarpClass::Unshared, true),
+            v(2, 2, WarpClass::Owner, false),
+        ];
+        assert_eq!(s.pick(0, 1, &views2), Some(1)); // then unshared
+        let views3 = vec![
+            v(0, 0, WarpClass::NonOwner, true),
+            v(1, 1, WarpClass::Unshared, false),
+            v(2, 2, WarpClass::Owner, false),
+        ];
+        assert_eq!(s.pick(0, 1, &views3), Some(0)); // non-owner fills stalls
+    }
+
+    #[test]
+    fn owf_ties_break_by_dynamic_id() {
+        let mut s = SchedulerKind::Owf.build(2, 1);
+        let views = vec![
+            v(0, 9, WarpClass::Unshared, true),
+            v(1, 3, WarpClass::Unshared, true),
+        ];
+        assert_eq!(s.pick(0, 1, &views), Some(1));
+    }
+
+    #[test]
+    fn two_level_stays_in_group_then_switches() {
+        let mut s = SchedulerKind::TwoLevel { group_size: 2 }.build(4, 1);
+        let mut views = all_unshared(&[true, true, true, true]);
+        // Group 0 = slots {0,1}: round robin inside.
+        assert_eq!(s.pick(0, 1, &views), Some(0));
+        assert_eq!(s.pick(0, 1, &views), Some(1));
+        assert_eq!(s.pick(0, 1, &views), Some(0));
+        // Group 0 all stalled → switch to group 1.
+        views[0].ready = false;
+        views[1].ready = false;
+        assert_eq!(s.pick(0, 1, &views), Some(2));
+        assert_eq!(s.pick(0, 1, &views), Some(3));
+        // Group 0 wakes up but group 1 is active and still ready.
+        views[0].ready = true;
+        assert_eq!(s.pick(0, 1, &views), Some(2));
+    }
+
+    #[test]
+    fn empty_view_yields_none() {
+        for kind in [
+            SchedulerKind::Lrr,
+            SchedulerKind::Gto,
+            SchedulerKind::TwoLevel { group_size: 8 },
+            SchedulerKind::Owf,
+        ] {
+            let mut s = kind.build(0, 2);
+            assert_eq!(s.pick(0, 2, &[]), None);
+            assert_eq!(s.pick(1, 2, &[]), None);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(SchedulerKind::Lrr.name(), "LRR");
+        assert_eq!(SchedulerKind::Gto.name(), "GTO");
+        assert_eq!(SchedulerKind::TwoLevel { group_size: 8 }.name(), "2LV");
+        assert_eq!(SchedulerKind::Owf.name(), "OWF");
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the sharing runtime: lock mutual exclusion, the
+//! deadlock-avoidance invariant, ownership transfer, and scheduler contracts.
+
+use grs_core::{PairMember, RegAccess, RegPairLocks, Scheduler, SchedulerKind, SmemPairLock, WarpClass, WarpView};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum LockOp {
+    Access { member: bool, warp: usize },
+    Finish { member: bool, warp: usize },
+    CompleteBlock { member: bool },
+}
+
+fn lock_ops(warps: usize) -> impl Strategy<Value = Vec<LockOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<bool>(), 0..warps).prop_map(|(m, w)| LockOp::Access { member: m, warp: w }),
+            (any::<bool>(), 0..warps).prop_map(|(m, w)| LockOp::Finish { member: m, warp: w }),
+            any::<bool>().prop_map(|m| LockOp::CompleteBlock { member: m }),
+        ],
+        1..200,
+    )
+}
+
+fn member(b: bool) -> PairMember {
+    if b {
+        PairMember::A
+    } else {
+        PairMember::B
+    }
+}
+
+proptest! {
+    /// At any point, live lock holders belong to a single block — the
+    /// invariant that makes the Fig. 5 barrier deadlock unreachable.
+    #[test]
+    fn live_holders_always_single_block(ops in lock_ops(8)) {
+        let mut locks = RegPairLocks::new(8);
+        for op in ops {
+            match op {
+                LockOp::Access { member: m, warp } => { locks.access_shared(member(m), warp); }
+                LockOp::Finish { member: m, warp } => locks.warp_finished(member(m), warp),
+                LockOp::CompleteBlock { member: m } => locks.block_completed(member(m)),
+            }
+            let a = locks.live_holders(PairMember::A);
+            let b = locks.live_holders(PairMember::B);
+            prop_assert!(a == 0 || b == 0, "both blocks hold live locks: A={a} B={b}");
+        }
+    }
+
+    /// A granted access means the partner is denied on the same warp pair.
+    #[test]
+    fn mutual_exclusion_per_warp_pair(ops in lock_ops(4), probe in 0usize..4) {
+        let mut locks = RegPairLocks::new(4);
+        for op in ops {
+            if let LockOp::Access { member: m, warp } = op {
+                locks.access_shared(member(m), warp);
+            }
+        }
+        let a = locks.holds(PairMember::A, probe);
+        let b = locks.holds(PairMember::B, probe);
+        prop_assert!(!(a && b), "both members hold warp pair {probe}");
+    }
+
+    /// `can_access` exactly predicts `access_shared` (peek soundness).
+    #[test]
+    fn peek_matches_acquire(ops in lock_ops(4), m in any::<bool>(), w in 0usize..4) {
+        let mut locks = RegPairLocks::new(4);
+        for op in ops {
+            if let LockOp::Access { member: mm, warp } = op {
+                locks.access_shared(member(mm), warp);
+            }
+        }
+        let predicted = locks.can_access(member(m), w);
+        let got = locks.access_shared(member(m), w);
+        prop_assert_eq!(predicted, got == RegAccess::Granted);
+    }
+
+    /// The scratchpad pair lock never reports two concurrent holders and its
+    /// peek is sound.
+    #[test]
+    fn smem_lock_exclusive(accessors in proptest::collection::vec(any::<bool>(), 1..50)) {
+        let mut lock = SmemPairLock::new();
+        for m in accessors {
+            let predicted = lock.can_access(member(m));
+            let got = lock.access_shared(member(m));
+            prop_assert_eq!(predicted, got == RegAccess::Granted);
+            prop_assert!(!(lock.holds(PairMember::A) && lock.holds(PairMember::B)));
+        }
+    }
+}
+
+fn arb_views() -> impl Strategy<Value = Vec<WarpView>> {
+    proptest::collection::vec(
+        (0u64..100, 0u8..3, any::<bool>()).prop_map(|(id, class, ready)| (id, class, ready)),
+        1..24,
+    )
+    .prop_map(|entries| {
+        entries
+            .into_iter()
+            .enumerate()
+            .map(|(slot, (dynamic_id, class, ready))| WarpView {
+                slot,
+                dynamic_id,
+                class: match class {
+                    0 => WarpClass::Owner,
+                    1 => WarpClass::Unshared,
+                    _ => WarpClass::NonOwner,
+                },
+                ready,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Every scheduler only ever picks a ready warp in its own partition,
+    /// and picks None iff no such warp exists.
+    #[test]
+    fn schedulers_pick_ready_warps_in_partition(
+        views in arb_views(),
+        kind in prop_oneof![
+            Just(SchedulerKind::Lrr),
+            Just(SchedulerKind::Gto),
+            Just(SchedulerKind::TwoLevel { group_size: 4 }),
+            Just(SchedulerKind::Owf),
+        ],
+        rounds in 1usize..8,
+    ) {
+        let units = 2;
+        let mut sched: Scheduler = kind.build(views.len(), units);
+        for _ in 0..rounds {
+            for unit in 0..units {
+                let pick = sched.pick(unit, units, &views);
+                let any_candidate = views.iter().any(|v| v.ready && v.slot % units == unit);
+                match pick {
+                    Some(slot) => {
+                        let v = views.iter().find(|v| v.slot == slot).expect("picked view exists");
+                        prop_assert!(v.ready, "{kind:?} picked non-ready warp");
+                        prop_assert_eq!(slot % units, unit, "scheduler {:?} violated partition", kind);
+                    }
+                    None => prop_assert!(!any_candidate, "{kind:?} missed a ready warp"),
+                }
+            }
+        }
+    }
+
+    /// OWF never picks a lower class while a strictly higher class is ready
+    /// (owner > unshared > non-owner, paper Sec. IV-A).
+    #[test]
+    fn owf_respects_class_priority(views in arb_views()) {
+        let units = 1;
+        let mut sched = SchedulerKind::Owf.build(views.len(), units);
+        if let Some(slot) = sched.pick(0, units, &views) {
+            let picked = views.iter().find(|v| v.slot == slot).unwrap();
+            let best_rank = views
+                .iter()
+                .filter(|v| v.ready)
+                .map(|v| v.class.rank())
+                .min()
+                .unwrap();
+            prop_assert_eq!(picked.class.rank(), best_rank);
+        }
+    }
+}

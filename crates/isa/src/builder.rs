@@ -1,0 +1,284 @@
+//! Fluent kernel construction.
+
+use crate::instr::{Instr, Op};
+use crate::kernel::Kernel;
+use crate::pattern::{GlobalPattern, SharedPattern};
+use crate::program::Program;
+use crate::reg::Reg;
+
+/// Fluent builder for [`Kernel`]s; used by the workload suite and the
+/// examples. Register operands are cycled deterministically over the declared
+/// register set so that realistic scoreboard dependences arise without the
+/// caller hand-picking every operand.
+#[derive(Debug, Clone)]
+pub struct KernelBuilder {
+    name: String,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    smem_per_block: u32,
+    grid_blocks: u32,
+    instrs: Vec<Instr>,
+    next_loop_id: u8,
+    // rolling operand allocator state
+    cursor: u16,
+    // registers the roller draws from: [window_lo, window_hi)
+    window_lo: u16,
+    window_hi: u16,
+    // most recent destination: arithmetic chains on it, modelling the
+    // load-to-use and op-to-op dependences real kernels have
+    last_dst: Option<Reg>,
+}
+
+impl KernelBuilder {
+    /// Start a kernel named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        KernelBuilder {
+            name: name.into(),
+            threads_per_block: 32,
+            regs_per_thread: 8,
+            smem_per_block: 0,
+            grid_blocks: 1,
+            instrs: Vec::new(),
+            next_loop_id: 0,
+            cursor: 0,
+            window_lo: 0,
+            window_hi: u16::MAX,
+            last_dst: None,
+        }
+    }
+
+    /// Restrict subsequent rolling operands to registers `lo .. hi`. Real
+    /// kernels execute long phases (address arithmetic, pointer chasing) in a
+    /// handful of low registers; under register sharing those phases stay in
+    /// the private partition, which is what lets non-owner warps progress
+    /// (paper Secs. III-A, IV-B). Pass `hi = u16::MAX` for "to the end".
+    pub fn reg_window(mut self, lo: u16, hi: u16) -> Self {
+        self.window_lo = lo;
+        self.window_hi = hi;
+        self.cursor = 0;
+        self
+    }
+
+    /// Set threads per block (paper "Block Size").
+    pub fn threads_per_block(mut self, n: u32) -> Self {
+        self.threads_per_block = n;
+        self
+    }
+
+    /// Set architectural registers per thread.
+    pub fn regs_per_thread(mut self, n: u32) -> Self {
+        self.regs_per_thread = n;
+        self
+    }
+
+    /// Set scratchpad bytes per block.
+    pub fn smem_per_block(mut self, bytes: u32) -> Self {
+        self.smem_per_block = bytes;
+        self
+    }
+
+    /// Set total blocks in the grid.
+    pub fn grid_blocks(mut self, n: u32) -> Self {
+        self.grid_blocks = n;
+        self
+    }
+
+    fn roll(&mut self) -> Reg {
+        let lo = self.window_lo.min(self.regs_per_thread as u16 - 1);
+        let hi = self.window_hi.min(self.regs_per_thread as u16).max(lo + 1);
+        let r = Reg(lo + self.cursor % (hi - lo));
+        self.cursor = self.cursor.wrapping_add(1);
+        r
+    }
+
+    fn chain_src(&mut self) -> Reg {
+        self.last_dst.unwrap_or_else(|| {
+            let r = self.roll();
+            self.last_dst = Some(r);
+            r
+        })
+    }
+
+    /// Push a raw instruction.
+    pub fn push(mut self, instr: Instr) -> Self {
+        self.last_dst = instr.dst.or(self.last_dst);
+        self.instrs.push(instr);
+        self
+    }
+
+    /// Append `n` integer-ALU instructions chained on the previous result.
+    pub fn ialu(mut self, n: u32) -> Self {
+        for _ in 0..n {
+            let a = self.chain_src();
+            let d = self.roll();
+            self.instrs.push(Instr::new(Op::IAlu, Some(d), &[a, d]));
+            self.last_dst = Some(d);
+        }
+        self
+    }
+
+    /// Append `n` FP-add instructions chained on the previous result.
+    pub fn fadd(mut self, n: u32) -> Self {
+        for _ in 0..n {
+            let a = self.chain_src();
+            let d = self.roll();
+            self.instrs.push(Instr::new(Op::FAdd, Some(d), &[a, d]));
+            self.last_dst = Some(d);
+        }
+        self
+    }
+
+    /// Append `n` FMA instructions (three sources — the dense-compute op),
+    /// chained on the previous result.
+    pub fn ffma(mut self, n: u32) -> Self {
+        for _ in 0..n {
+            let a = self.chain_src();
+            let b = self.roll();
+            let d = self.roll();
+            self.instrs.push(Instr::new(Op::FFma, Some(d), &[a, b, d]));
+            self.last_dst = Some(d);
+        }
+        self
+    }
+
+    /// Append `n` SFU instructions chained on the previous result.
+    pub fn sfu(mut self, n: u32) -> Self {
+        for _ in 0..n {
+            let a = self.chain_src();
+            let d = self.roll();
+            self.instrs.push(Instr::new(Op::Sfu, Some(d), &[a]));
+            self.last_dst = Some(d);
+        }
+        self
+    }
+
+    /// Append a global load with pattern `p`; subsequent chained arithmetic
+    /// consumes the loaded value (load-to-use dependence).
+    pub fn ld_global(mut self, p: GlobalPattern) -> Self {
+        let a = self.chain_src();
+        let d = self.roll();
+        self.instrs.push(Instr::new(Op::LdGlobal(p), Some(d), &[a]));
+        self.last_dst = Some(d);
+        self
+    }
+
+    /// Append a global store of the previous result.
+    pub fn st_global(mut self, p: GlobalPattern) -> Self {
+        let v = self.chain_src();
+        let a = self.roll();
+        self.instrs.push(Instr::new(Op::StGlobal(p), None, &[a, v]));
+        self
+    }
+
+    /// Append a scratchpad load touching `bytes` bytes at `offset`;
+    /// subsequent chained arithmetic consumes the loaded value.
+    pub fn ld_shared(mut self, offset: u32, bytes: u32) -> Self {
+        let d = self.roll();
+        self.instrs
+            .push(Instr::new(Op::LdShared(SharedPattern::new(offset, bytes)), Some(d), &[]));
+        self.last_dst = Some(d);
+        self
+    }
+
+    /// Append a scratchpad store of the previous result.
+    pub fn st_shared(mut self, offset: u32, bytes: u32) -> Self {
+        let v = self.chain_src();
+        self.instrs
+            .push(Instr::new(Op::StShared(SharedPattern::new(offset, bytes)), None, &[v]));
+        self
+    }
+
+    /// Append `n` *independent* integer-ALU instructions (no chaining) —
+    /// for modelling instruction-level parallelism where needed.
+    pub fn ialu_independent(mut self, n: u32) -> Self {
+        for _ in 0..n {
+            let d = self.roll();
+            let a = self.roll();
+            self.instrs.push(Instr::new(Op::IAlu, Some(d), &[a, d]));
+        }
+        self
+    }
+
+    /// Append a block-wide barrier.
+    pub fn barrier(mut self) -> Self {
+        self.instrs.push(Instr::new(Op::Barrier, None, &[]));
+        self
+    }
+
+    /// Close a loop: branch back to instruction index `target`, re-executing
+    /// the body `trips` additional times. Loop ids are allocated
+    /// automatically.
+    pub fn loop_back(mut self, target: usize, trips: u16) -> Self {
+        let loop_id = self.next_loop_id;
+        self.next_loop_id += 1;
+        self.instrs.push(Instr::new(
+            Op::BranchBack { target: target as u16, trips, loop_id },
+            None,
+            &[],
+        ));
+        self
+    }
+
+    /// Current instruction count (used as a `loop_back` anchor).
+    pub fn here(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Finish with an `Exit` and produce the kernel.
+    pub fn build(mut self) -> Kernel {
+        self.instrs.push(Instr::new(Op::Exit, None, &[]));
+        Kernel::new(
+            self.name,
+            self.threads_per_block,
+            self.regs_per_thread,
+            self.smem_per_block,
+            self.grid_blocks,
+            Program::new(self.instrs),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate;
+
+    #[test]
+    fn builder_produces_valid_kernels() {
+        let mut b = KernelBuilder::new("loopy")
+            .threads_per_block(128)
+            .regs_per_thread(16)
+            .smem_per_block(2048)
+            .grid_blocks(10)
+            .ialu(4);
+        let top = b.here();
+        b = b
+            .ld_global(GlobalPattern::Stream)
+            .ffma(6)
+            .st_shared(0, 512)
+            .barrier()
+            .ld_shared(512, 512)
+            .loop_back(top, 20);
+        let k = b.build();
+        validate(&k).expect("builder output must validate");
+        assert!(k.dynamic_instrs_per_warp() > 200);
+    }
+
+    #[test]
+    fn rolling_operands_stay_in_range() {
+        let k = KernelBuilder::new("small").regs_per_thread(3).ialu(50).build();
+        assert!(k.program.max_reg().unwrap() < 3);
+    }
+
+    #[test]
+    fn loop_ids_are_unique() {
+        let mut b = KernelBuilder::new("two-loops").regs_per_thread(4);
+        let t0 = b.here();
+        b = b.ialu(1).loop_back(t0, 2);
+        let t1 = b.here();
+        b = b.ialu(1).loop_back(t1, 3);
+        let k = b.build();
+        assert_eq!(k.program.num_loops(), 2);
+        validate(&k).unwrap();
+    }
+}

@@ -1,0 +1,53 @@
+//! # grs-isa — SIMT instruction-set model
+//!
+//! This crate defines the abstract machine language executed by the
+//! [`grs-sim`](../grs_sim/index.html) cycle-level GPU simulator. It plays the
+//! role that PTXPlus plays for GPGPU-Sim in the paper *Improving GPU
+//! Performance Through Resource Sharing* (Jatala, Anantpur, Karkare; HPDC'16):
+//! a register-based, in-order, warp-granular instruction stream with
+//! explicit register declarations whose *declaration order* determines each
+//! register's sequence number — the property exploited by the paper's
+//! "Unrolling and Reordering of Register Declarations" optimization
+//! (paper Sec. IV-B, Fig. 7).
+//!
+//! The ISA is deliberately small but covers everything the paper's evaluation
+//! exercises:
+//!
+//! * integer/floating-point ALU and SFU arithmetic with distinct latencies,
+//! * global loads/stores with parameterized *address patterns* (streaming,
+//!   per-block tiles, shared tiles, scatter) so that cache behaviour under
+//!   varying thread-block residency emerges naturally,
+//! * scratchpad (shared-memory) loads/stores with explicit byte offsets, the
+//!   quantity the scratchpad-sharing automaton (paper Fig. 4) classifies,
+//! * block-wide barriers (`__syncthreads()`), the ingredient of the paper's
+//!   deadlock scenario (Fig. 5),
+//! * a back-edge branch with a static trip count, giving kernels realistic
+//!   dynamic instruction counts without requiring divergence modelling,
+//! * `Exit`, retiring a warp.
+//!
+//! A [`Kernel`] couples a [`Program`] with the launch footprint (threads per
+//! block, registers per thread, scratchpad bytes per block, grid size) that
+//! drives all of the paper's occupancy and sharing arithmetic.
+
+pub mod builder;
+pub mod instr;
+pub mod kernel;
+pub mod pattern;
+pub mod program;
+pub mod reg;
+pub mod validate;
+
+pub use builder::KernelBuilder;
+pub use instr::{Instr, Op};
+pub use kernel::Kernel;
+pub use pattern::{GlobalPattern, SharedPattern};
+pub use program::Program;
+pub use reg::Reg;
+pub use validate::{validate, ValidateError};
+
+/// Number of threads in a warp; fixed at 32 as on all NVIDIA GPUs the paper
+/// models (paper Sec. II).
+pub const WARP_SIZE: u32 = 32;
+
+/// Size in bytes of a memory transaction / cache line (GPGPU-Sim default).
+pub const LINE_BYTES: u64 = 128;

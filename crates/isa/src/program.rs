@@ -1,0 +1,171 @@
+//! Straight-line programs with counted back-edges.
+
+use serde::{Deserialize, Serialize};
+
+use crate::instr::{Instr, Op};
+
+/// A warp program: a vector of instructions executed in order, with
+/// `BranchBack` instructions providing statically-counted loops.
+///
+/// Control flow is deliberately restricted to counted back-edges: the paper's
+/// mechanisms (resource sharing, warp scheduling, stall accounting) are
+/// orthogonal to divergence handling, which its related-work section
+/// explicitly calls out as orthogonal research.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    /// The instruction stream.
+    pub instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Wrap an instruction vector.
+    pub fn new(instrs: Vec<Instr>) -> Self {
+        Program { instrs }
+    }
+
+    /// Number of static instructions.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// True if the program has no instructions.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Number of distinct loop ids (trip-counter table size per warp).
+    pub fn num_loops(&self) -> usize {
+        self.instrs
+            .iter()
+            .filter_map(|i| match i.op {
+                Op::BranchBack { loop_id, .. } => Some(loop_id as usize + 1),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Dynamic warp-instruction count: the number of instructions a single
+    /// warp executes from entry to `Exit`, fully unrolling counted loops.
+    /// Loops may nest; a `BranchBack` with trips `n` re-executes its body `n`
+    /// extra times.
+    pub fn dynamic_len(&self) -> u64 {
+        // Walk the program simulating trip counters (cheap: programs are
+        // small and trip counts are static).
+        let mut counters: Vec<u16> = vec![0; self.num_loops()];
+        let mut initialized: Vec<bool> = vec![false; self.num_loops()];
+        let mut pc = 0usize;
+        let mut count: u64 = 0;
+        let mut fuel: u64 = 1 << 34; // hard bound against malformed programs
+        while pc < self.instrs.len() {
+            count += 1;
+            fuel -= 1;
+            if fuel == 0 {
+                break;
+            }
+            match self.instrs[pc].op {
+                Op::Exit => break,
+                Op::BranchBack { target, trips, loop_id } => {
+                    let id = loop_id as usize;
+                    if !initialized[id] {
+                        counters[id] = trips;
+                        initialized[id] = true;
+                    }
+                    if counters[id] > 0 {
+                        counters[id] -= 1;
+                        pc = target as usize;
+                    } else {
+                        initialized[id] = false;
+                        pc += 1;
+                    }
+                }
+                _ => pc += 1,
+            }
+        }
+        count
+    }
+
+    /// Highest architectural register id referenced, if any.
+    pub fn max_reg(&self) -> Option<u16> {
+        self.instrs.iter().flat_map(|i| i.operands()).map(|r| r.0).max()
+    }
+
+    /// Multi-line disassembly listing.
+    pub fn disasm(&self) -> String {
+        let mut s = String::new();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            s.push_str(&format!("{i:4}:  {}\n", instr.disasm()));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn ialu() -> Instr {
+        Instr::new(Op::IAlu, Some(Reg(0)), &[Reg(0)])
+    }
+
+    #[test]
+    fn dynamic_len_straight_line() {
+        let p = Program::new(vec![ialu(), ialu(), Instr::new(Op::Exit, None, &[])]);
+        assert_eq!(p.dynamic_len(), 3);
+        assert_eq!(p.num_loops(), 0);
+    }
+
+    #[test]
+    fn dynamic_len_single_loop() {
+        // 0: ialu
+        // 1: bra 0 trips=4   -> body (instrs 0..=1) runs 5 times total
+        // 2: exit
+        let p = Program::new(vec![
+            ialu(),
+            Instr::new(Op::BranchBack { target: 0, trips: 4, loop_id: 0 }, None, &[]),
+            Instr::new(Op::Exit, None, &[]),
+        ]);
+        // 5 * (ialu + bra) + exit
+        assert_eq!(p.dynamic_len(), 11);
+        assert_eq!(p.num_loops(), 1);
+    }
+
+    #[test]
+    fn dynamic_len_nested_loops() {
+        // outer loop 2 extra trips, inner loop 3 extra trips
+        // 0: ialu
+        // 1: bra 0 trips=3 loop 0      (inner)
+        // 2: bra 0 trips=2 loop 1      (outer)
+        // 3: exit
+        let p = Program::new(vec![
+            ialu(),
+            Instr::new(Op::BranchBack { target: 0, trips: 3, loop_id: 0 }, None, &[]),
+            Instr::new(Op::BranchBack { target: 0, trips: 2, loop_id: 1 }, None, &[]),
+            Instr::new(Op::Exit, None, &[]),
+        ]);
+        // inner pass = 4*(ialu+bra) = 8 instructions, then outer bra.
+        // outer executes 3 times: 3*(8+1) = 27, plus exit = 28.
+        assert_eq!(p.dynamic_len(), 28);
+        assert_eq!(p.num_loops(), 2);
+    }
+
+    #[test]
+    fn max_reg_finds_largest_operand() {
+        let p = Program::new(vec![
+            Instr::new(Op::FAdd, Some(Reg(7)), &[Reg(2), Reg(31)]),
+            Instr::new(Op::Exit, None, &[]),
+        ]);
+        assert_eq!(p.max_reg(), Some(31));
+    }
+
+    #[test]
+    fn disasm_lists_every_instruction() {
+        let p = Program::new(vec![ialu(), Instr::new(Op::Exit, None, &[])]);
+        let d = p.disasm();
+        assert!(d.contains("0:  ialu"));
+        assert!(d.contains("1:  exit"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Architectural register identifiers.
+
+use serde::{Deserialize, Serialize};
+
+/// An architectural (per-thread) register id, `0 .. regs_per_thread`.
+///
+/// The *id* is stable; the register's **sequence number** — its position in
+/// the kernel's declaration order, which is what the register-sharing
+/// automaton of paper Fig. 3 compares against the `Rw·t` private/shared
+/// boundary — is looked up through [`crate::Kernel::seq_of`]. Keeping the two
+/// apart is what lets the declaration-reordering optimization change sharing
+/// classification without rewriting instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Reg(pub u16);
+
+impl Reg {
+    /// Convenience constructor, mirrors PTX `$r<n>` syntax.
+    #[inline]
+    pub const fn r(n: u16) -> Self {
+        Reg(n)
+    }
+
+    /// Raw index as `usize` for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "$r{}", self.0)
+    }
+}
+
+impl From<u16> for Reg {
+    fn from(n: u16) -> Self {
+        Reg(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_ptx_style() {
+        assert_eq!(Reg::r(17).to_string(), "$r17");
+    }
+
+    #[test]
+    fn ordering_is_by_id() {
+        assert!(Reg::r(3) < Reg::r(4));
+        assert_eq!(Reg::from(9), Reg(9));
+        assert_eq!(Reg(9).index(), 9);
+    }
+}

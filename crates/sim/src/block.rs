@@ -1,0 +1,113 @@
+//! Per-block state and block-slot pairing.
+
+use grs_core::{PairMember, RegPairLocks, SmemPairLock};
+
+/// How a block slot participates in sharing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pairing {
+    /// Full private allocation (paper's "unshared thread block").
+    Unshared,
+    /// Member of shared pair `pair` (index into the SM's pair-lock table).
+    Paired {
+        /// Pair index.
+        pair: u32,
+        /// Which member of the pair.
+        member: PairMember,
+    },
+}
+
+/// State of one resident thread block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Global grid block id.
+    pub grid_id: u32,
+    /// Warps not yet retired.
+    pub live_warps: u32,
+    /// Warps currently waiting at the barrier.
+    pub at_barrier: u32,
+    /// Sharing role of the occupied slot.
+    pub pairing: Pairing,
+}
+
+/// Lock state for one pair of shared block slots.
+#[derive(Debug, Clone)]
+pub enum PairLocks {
+    /// Register sharing: per-warp-pair locks (paper Sec. III-A).
+    Reg(RegPairLocks),
+    /// Scratchpad sharing: one block-pair lock (paper Sec. III-B).
+    Smem(SmemPairLock),
+}
+
+impl PairLocks {
+    /// The pair's owner block, if determined.
+    pub fn owner(&self) -> Option<PairMember> {
+        match self {
+            PairLocks::Reg(l) => l.owner(),
+            PairLocks::Smem(l) => l.owner(),
+        }
+    }
+
+    /// Notify block completion (releases locks, transfers ownership).
+    pub fn block_completed(&mut self, member: PairMember) {
+        match self {
+            PairLocks::Reg(l) => l.block_completed(member),
+            PairLocks::Smem(l) => l.block_completed(member),
+        }
+    }
+}
+
+/// Compute the pairing of block slot `slot` in a launch plan with `unshared`
+/// leading unshared slots: slots `unshared + 2i` / `unshared + 2i + 1` form
+/// pair `i` as members A / B.
+pub fn pairing_of_slot(slot: u32, unshared: u32) -> Pairing {
+    if slot < unshared {
+        Pairing::Unshared
+    } else {
+        let off = slot - unshared;
+        Pairing::Paired {
+            pair: off / 2,
+            member: if off.is_multiple_of(2) { PairMember::A } else { PairMember::B },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_pairing_layout() {
+        // U = 2, S = 2 → slots: [U, U, A0, B0, A1, B1]
+        assert_eq!(pairing_of_slot(0, 2), Pairing::Unshared);
+        assert_eq!(pairing_of_slot(1, 2), Pairing::Unshared);
+        assert_eq!(pairing_of_slot(2, 2), Pairing::Paired { pair: 0, member: PairMember::A });
+        assert_eq!(pairing_of_slot(3, 2), Pairing::Paired { pair: 0, member: PairMember::B });
+        assert_eq!(pairing_of_slot(4, 2), Pairing::Paired { pair: 1, member: PairMember::A });
+        assert_eq!(pairing_of_slot(5, 2), Pairing::Paired { pair: 1, member: PairMember::B });
+    }
+
+    #[test]
+    fn all_unshared_when_u_covers_slots() {
+        for s in 0..8 {
+            assert_eq!(pairing_of_slot(s, 8), Pairing::Unshared);
+        }
+    }
+
+    #[test]
+    fn pair_locks_dispatch() {
+        let mut reg = PairLocks::Reg(RegPairLocks::new(4));
+        assert_eq!(reg.owner(), None);
+        if let PairLocks::Reg(l) = &mut reg {
+            l.access_shared(PairMember::B, 0);
+        }
+        assert_eq!(reg.owner(), Some(PairMember::B));
+        reg.block_completed(PairMember::B);
+        assert_eq!(reg.owner(), Some(PairMember::A));
+
+        let mut smem = PairLocks::Smem(SmemPairLock::new());
+        if let PairLocks::Smem(l) = &mut smem {
+            l.access_shared(PairMember::A);
+        }
+        assert_eq!(smem.owner(), Some(PairMember::A));
+    }
+}

@@ -1,0 +1,59 @@
+//! Grid-level block dispatcher.
+//!
+//! Hands out grid block ids in launch order; the GPU fills SM slots
+//! round-robin at kernel start and refills a slot the cycle its block
+//! completes (GPGPU-Sim's behaviour). Replacement blocks entering a shared
+//! slot join the pair as the *non-owner* (paper Sec. IV: "a new non-owner
+//! thread block gets launched").
+
+/// Sequential grid dispatcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dispatcher {
+    next: u32,
+    total: u32,
+}
+
+impl Dispatcher {
+    /// Dispatcher over `total` grid blocks.
+    pub fn new(total: u32) -> Self {
+        Dispatcher { next: 0, total }
+    }
+
+    /// Next block id, if the grid is not exhausted.
+    pub fn next_block(&mut self) -> Option<u32> {
+        if self.next < self.total {
+            let id = self.next;
+            self.next += 1;
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    /// Blocks not yet dispatched.
+    pub fn remaining(&self) -> u32 {
+        self.total - self.next
+    }
+
+    /// Total grid size.
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispenses_in_order_then_exhausts() {
+        let mut d = Dispatcher::new(3);
+        assert_eq!(d.remaining(), 3);
+        assert_eq!(d.next_block(), Some(0));
+        assert_eq!(d.next_block(), Some(1));
+        assert_eq!(d.next_block(), Some(2));
+        assert_eq!(d.next_block(), None);
+        assert_eq!(d.remaining(), 0);
+        assert_eq!(d.total(), 3);
+    }
+}

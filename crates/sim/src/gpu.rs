@@ -1,0 +1,124 @@
+//! Whole-GPU orchestration: SM array, shared memory system, dispatcher,
+//! dynamic throttle, main cycle loop.
+
+use grs_core::{DynThrottle, GpuConfig, LaunchPlan, ResourceKind, SchedulerKind};
+
+use crate::cache::Cache;
+use crate::dispatch::Dispatcher;
+use crate::kinfo::KernelInfo;
+use crate::mem::SharedMem;
+use crate::sm::Sm;
+use crate::stats::SimStats;
+
+/// A configured GPU mid-simulation.
+#[derive(Debug)]
+pub struct Gpu {
+    /// The SM array.
+    pub sms: Vec<Sm>,
+    /// Shared L2 + DRAM.
+    pub shared: SharedMem,
+    /// Dynamic warp-execution throttle.
+    pub throttle: DynThrottle,
+    /// Grid dispatcher.
+    pub dispatcher: Dispatcher,
+    cfg: GpuConfig,
+}
+
+impl Gpu {
+    /// Build the machine for one run.
+    pub fn new(
+        cfg: &GpuConfig,
+        kinfo: &KernelInfo,
+        plan: LaunchPlan,
+        sched_kind: SchedulerKind,
+        dyn_throttle: bool,
+        sharing: Option<ResourceKind>,
+    ) -> Self {
+        let units = cfg.sm.schedulers as usize;
+        let register_sharing = sharing == Some(ResourceKind::Registers);
+        let sms = (0..cfg.num_sms as usize)
+            .map(|id| {
+                let l1 = Cache::new(
+                    u64::from(cfg.mem.l1_bytes),
+                    cfg.mem.l1_ways,
+                    u64::from(cfg.mem.line_bytes),
+                );
+                Sm::new(id, plan, kinfo, sched_kind, units, l1, register_sharing)
+            })
+            .collect();
+        let throttle = if dyn_throttle && sharing.is_some() {
+            DynThrottle::paper(cfg.num_sms as usize)
+        } else {
+            DynThrottle::disabled(cfg.num_sms as usize)
+        };
+        Gpu {
+            sms,
+            shared: SharedMem::new(cfg.mem),
+            throttle,
+            dispatcher: Dispatcher::new(kinfo.kernel.grid_blocks),
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Fill SM block slots round-robin at kernel start (GPGPU-Sim's initial
+    /// distribution).
+    pub fn initial_fill(&mut self, kinfo: &KernelInfo) {
+        loop {
+            let mut progressed = false;
+            for sm in &mut self.sms {
+                if sm.has_free_slot() {
+                    if let Some(gid) = self.dispatcher.next_block() {
+                        sm.launch_block(gid, kinfo);
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// All work dispatched and drained?
+    pub fn finished(&self) -> bool {
+        self.dispatcher.remaining() == 0 && self.sms.iter().all(|s| s.live_blocks() == 0)
+    }
+
+    /// Run until the grid completes or `max_cycles` elapse; returns the
+    /// aggregated statistics.
+    pub fn run(&mut self, kinfo: &KernelInfo, max_cycles: u64) -> SimStats {
+        self.initial_fill(kinfo);
+        let lat = self.cfg.lat;
+        let mut cycle = 0u64;
+        while !self.finished() && cycle < max_cycles {
+            for sm in &mut self.sms {
+                sm.step(cycle, kinfo, &lat, &mut self.shared, &mut self.throttle, &mut self.dispatcher);
+            }
+            self.throttle.on_cycle(cycle);
+            cycle += 1;
+        }
+        self.collect(cycle, !self.finished())
+    }
+
+    fn collect(&self, cycles: u64, timed_out: bool) -> SimStats {
+        let mut stats = SimStats {
+            cycles,
+            timed_out,
+            mem: self.shared.stats.clone(),
+            ..Default::default()
+        };
+        for sm in &self.sms {
+            stats.warp_instrs += sm.stats.warp_instrs;
+            stats.thread_instrs += sm.stats.thread_instrs;
+            stats.stall_cycles += sm.stats.stall_cycles;
+            stats.idle_cycles += sm.stats.idle_cycles;
+            stats.empty_cycles += sm.stats.empty_cycles;
+            stats.blocks_completed += sm.stats.blocks_completed;
+            stats.lock_retries += sm.stats.lock_retries;
+            stats.throttled_issues += sm.stats.throttled_issues;
+            stats.max_resident_blocks = stats.max_resident_blocks.max(sm.stats.max_resident_blocks);
+            stats.per_sm.push(sm.stats.clone());
+        }
+        stats
+    }
+}

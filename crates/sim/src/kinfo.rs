@@ -1,0 +1,176 @@
+//! Preprocessed per-kernel information.
+//!
+//! Before a run, the simulator resolves everything that is static for the
+//! whole simulation: the private/shared classification of every instruction
+//! under the configured threshold (paper Figs. 3–4 steps (b)/(c) are pure
+//! comparator logic, so we evaluate them once per static instruction), warp
+//! shapes, and loop-table sizes.
+
+use grs_core::{ResourceKind, Threshold};
+use grs_isa::{Kernel, Op, WARP_SIZE};
+
+/// Immutable, preprocessed view of a kernel for one run configuration.
+#[derive(Debug, Clone)]
+pub struct KernelInfo {
+    /// The (possibly transform-optimized) kernel.
+    pub kernel: Kernel,
+    /// Warps per block.
+    pub warps_per_block: u32,
+    /// Active threads in each warp of a block (last warp may be partial,
+    /// e.g. b+tree's 508-thread blocks).
+    pub threads_in_warp: Vec<u32>,
+    /// Number of per-thread registers classified *private* under the run's
+    /// threshold: a register is shared iff its declaration sequence number
+    /// is `≥ private_regs` (the `Rw·t` boundary of Fig. 3 expressed in
+    /// per-thread register sequence numbers).
+    pub private_regs: u16,
+    /// Scratchpad bytes classified private per block (`Rtb·t` of Fig. 4).
+    pub private_smem: u32,
+    /// Per static instruction: does it touch a shared register?
+    pub uses_shared_reg: Vec<bool>,
+    /// Per static instruction: does it touch shared scratchpad?
+    pub uses_shared_smem: Vec<bool>,
+    /// Per static instruction: scoreboard mask of all register operands
+    /// (sources and destination). Requires `regs_per_thread ≤ 64`, checked
+    /// by the simulator entry point.
+    pub op_masks: Vec<u64>,
+    /// Loop-counter table size per warp.
+    pub num_loops: usize,
+}
+
+impl KernelInfo {
+    /// Preprocess `kernel` for a run with the given sharing resource (or
+    /// `None` for a baseline run, in which case everything is private).
+    pub fn new(kernel: Kernel, sharing: Option<ResourceKind>, threshold: Threshold) -> Self {
+        let warps_per_block = kernel.warps_per_block();
+        let mut threads_in_warp = Vec::with_capacity(warps_per_block as usize);
+        let mut remaining = kernel.threads_per_block;
+        for _ in 0..warps_per_block {
+            threads_in_warp.push(remaining.min(WARP_SIZE));
+            remaining = remaining.saturating_sub(WARP_SIZE);
+        }
+
+        // Private boundaries: with sharing disabled for a resource, every
+        // access to it is private (boundary = everything).
+        let private_regs = match sharing {
+            Some(ResourceKind::Registers) => {
+                // Rw·t warp registers = t·regs_per_thread per-thread regs.
+                (threshold.t() * f64::from(kernel.regs_per_thread)).floor() as u16
+            }
+            _ => kernel.regs_per_thread as u16,
+        };
+        let private_smem = match sharing {
+            Some(ResourceKind::Scratchpad) => threshold.private_units(kernel.smem_per_block),
+            _ => kernel.smem_per_block,
+        };
+
+        let uses_shared_reg: Vec<bool> = kernel
+            .program
+            .instrs
+            .iter()
+            .map(|i| i.operands().any(|r| kernel.seq_of(r) >= private_regs))
+            .collect();
+        let uses_shared_smem: Vec<bool> = kernel
+            .program
+            .instrs
+            .iter()
+            .map(|i| match i.op {
+                Op::LdShared(p) | Op::StShared(p) => p.max_byte() >= private_smem,
+                _ => false,
+            })
+            .collect();
+        let op_masks: Vec<u64> = kernel
+            .program
+            .instrs
+            .iter()
+            .map(|i| i.operands().fold(0u64, |m, r| m | (1 << (r.0 as u64 & 63))))
+            .collect();
+        let num_loops = kernel.program.num_loops();
+
+        KernelInfo {
+            warps_per_block,
+            threads_in_warp,
+            private_regs,
+            private_smem,
+            uses_shared_reg,
+            uses_shared_smem,
+            op_masks,
+            num_loops,
+            kernel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_isa::{GlobalPattern, KernelBuilder};
+
+    fn kernel() -> Kernel {
+        KernelBuilder::new("k")
+            .threads_per_block(508)
+            .regs_per_thread(24)
+            .smem_per_block(2180)
+            .grid_blocks(4)
+            .ialu(2)
+            .ld_shared(0, 128)
+            .ld_shared(2000, 64)
+            .ld_global(GlobalPattern::Stream)
+            .build()
+    }
+
+    #[test]
+    fn partial_last_warp() {
+        let ki = KernelInfo::new(kernel(), None, Threshold::paper_default());
+        assert_eq!(ki.warps_per_block, 16);
+        assert_eq!(ki.threads_in_warp[0], 32);
+        assert_eq!(ki.threads_in_warp[15], 508 - 15 * 32); // 28 threads
+    }
+
+    #[test]
+    fn baseline_marks_nothing_shared() {
+        let ki = KernelInfo::new(kernel(), None, Threshold::paper_default());
+        assert!(ki.uses_shared_reg.iter().all(|&b| !b));
+        assert!(ki.uses_shared_smem.iter().all(|&b| !b));
+    }
+
+    #[test]
+    fn register_sharing_boundary() {
+        let ki = KernelInfo::new(
+            kernel(),
+            Some(ResourceKind::Registers),
+            Threshold::paper_default(),
+        );
+        // t = 0.1, 24 regs/thread → 2 private per-thread registers.
+        assert_eq!(ki.private_regs, 2);
+        // Scratchpad untouched by register sharing.
+        assert_eq!(ki.private_smem, 2180);
+        assert!(ki.uses_shared_smem.iter().all(|&b| !b));
+        // Some instruction uses registers ≥ seq 2.
+        assert!(ki.uses_shared_reg.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn scratchpad_sharing_boundary() {
+        let ki = KernelInfo::new(
+            kernel(),
+            Some(ResourceKind::Scratchpad),
+            Threshold::paper_default(),
+        );
+        // t = 0.1 → 218 private bytes.
+        assert_eq!(ki.private_smem, 218);
+        // The 0..128 access is private; the access ending at 2063 is shared.
+        let shared_flags: Vec<bool> = ki
+            .kernel
+            .program
+            .instrs
+            .iter()
+            .zip(&ki.uses_shared_smem)
+            .filter(|(i, _)| i.op.is_shared_mem())
+            .map(|(_, &f)| f)
+            .collect();
+        assert_eq!(shared_flags, vec![false, true]);
+        // Registers untouched by scratchpad sharing.
+        assert!(ki.uses_shared_reg.iter().all(|&b| !b));
+    }
+}

@@ -1,0 +1,48 @@
+//! # grs-sim — cycle-level SIMT GPU simulator
+//!
+//! The evaluation substrate of the reproduction: a from-scratch, deterministic
+//! cycle-level model of the paper's Table I GPU (the role GPGPU-Sim v3.x plays
+//! in the original work). Per cycle, each SM's scheduler units pick ready
+//! warps and issue instructions in order; long-latency results return through
+//! a writeback queue; global memory flows through a per-SM L1, a shared L2
+//! with bandwidth limits, and a DRAM latency/service model; the
+//! resource-sharing runtime from [`grs_core`] gates shared register and
+//! scratchpad accesses through the paper's Fig. 3/Fig. 4 automata.
+//!
+//! The top-level API is [`Simulator`]: configure a [`RunConfig`], call
+//! [`Simulator::run`] on a [`grs_isa::Kernel`], read the [`SimStats`].
+//!
+//! ```
+//! use grs_core::{GpuConfig, SchedulerKind, Threshold};
+//! use grs_isa::{GlobalPattern, KernelBuilder};
+//! use grs_sim::{RunConfig, SharingMode, Simulator};
+//!
+//! let kernel = KernelBuilder::new("axpy")
+//!     .threads_per_block(128)
+//!     .regs_per_thread(16)
+//!     .grid_blocks(32)
+//!     .ld_global(GlobalPattern::Stream)
+//!     .ffma(4)
+//!     .st_global(GlobalPattern::Stream)
+//!     .build();
+//!
+//! let baseline = Simulator::new(RunConfig::baseline_lrr()).run(&kernel);
+//! let shared = Simulator::new(RunConfig::paper_register_sharing()).run(&kernel);
+//! assert!(shared.ipc() > 0.0 && baseline.ipc() > 0.0);
+//! ```
+
+pub mod block;
+pub mod cache;
+pub mod dispatch;
+pub mod gpu;
+pub mod kinfo;
+pub mod mem;
+pub mod rng;
+pub mod run;
+pub mod server;
+pub mod sm;
+pub mod stats;
+pub mod warp;
+
+pub use run::{RunConfig, SharingMode, Simulator};
+pub use stats::{MemStats, SimStats, SmStats};

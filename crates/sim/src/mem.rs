@@ -1,0 +1,274 @@
+//! Global-memory subsystem: coalescer address generation, L1 → L2 → DRAM
+//! timing.
+//!
+//! Each SM owns an L1; the L2 tag store and the L2/DRAM bandwidth servers are
+//! shared by every SM (paper Table I: 16 KB L1 per core, 768 KB unified L2).
+//! Timing is computed functionally at issue: a transaction's completion cycle
+//! is `now + hit latency (+ L2 latency + L2 queue) (+ DRAM latency + DRAM
+//! queue)` depending on where it hits; tag state updates eagerly. This keeps
+//! the model deterministic and fast while preserving the contention effect
+//! the paper's analysis relies on (more resident blocks ⇒ bigger combined
+//! working set ⇒ more misses ⇒ longer queues).
+
+use grs_core::MemConfig;
+use grs_isa::{GlobalPattern, LINE_BYTES};
+
+use crate::cache::{Cache, CacheOutcome};
+use crate::server::ServerQueue;
+use crate::stats::MemStats;
+use crate::warp::Warp;
+
+/// Virtual-address layout constants. Each grid block owns a disjoint 8 MB
+/// span; kernel-shared tiles live in a separate high region.
+pub mod layout {
+    /// Bytes of address space per grid block.
+    pub const BLOCK_SPAN: u64 = 1 << 23;
+    /// Offset of the per-warp streaming region inside a block span.
+    pub const STREAM_BASE: u64 = 0;
+    /// Bytes of stream per warp (256 lines; wraps after that).
+    pub const STREAM_PER_WARP: u64 = 1 << 15;
+    /// Offset of the per-block tile region.
+    pub const TILE_BASE: u64 = 0x60_0000;
+    /// Offset of the per-block scatter region.
+    pub const SCATTER_BASE: u64 = 0x70_0000;
+    /// Base of the kernel-wide shared-tile region.
+    pub const KERNEL_TILE_BASE: u64 = 0x4000_0000_0000;
+
+    /// Base address of a grid block's span, including the anti-aliasing
+    /// jitter applied by the address generator.
+    pub fn block_base(grid_block: u32) -> u64 {
+        u64::from(grid_block) * BLOCK_SPAN + (u64::from(grid_block) % 61) * crate::mem::JITTER_UNIT
+    }
+}
+
+/// Jitter granularity (one cache line).
+pub(crate) const JITTER_UNIT: u64 = LINE_BYTES;
+
+/// Shared (cross-SM) part of the memory system.
+#[derive(Debug, Clone)]
+pub struct SharedMem {
+    /// Unified L2 tag store.
+    pub l2: Cache,
+    /// L2 bank / interconnect bandwidth.
+    pub l2_server: ServerQueue,
+    /// DRAM channel bandwidth.
+    pub dram_server: ServerQueue,
+    /// Latency constants.
+    pub cfg: MemConfig,
+    /// Counters.
+    pub stats: MemStats,
+}
+
+impl SharedMem {
+    /// Build from a memory configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        SharedMem {
+            l2: Cache::new(u64::from(cfg.l2_bytes), cfg.l2_ways, u64::from(cfg.line_bytes)),
+            l2_server: ServerQueue::new(cfg.l2_service_q4),
+            dram_server: ServerQueue::new(cfg.dram_service_q4),
+            cfg,
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Timing for one **load** transaction to `addr` from the SM owning
+    /// `l1`, issued at `now`. Returns the transaction latency in cycles.
+    pub fn load(&mut self, l1: &mut Cache, addr: u64, now: u64) -> u64 {
+        self.stats.transactions += 1;
+        let base = u64::from(self.cfg.l1_hit_latency);
+        match l1.access(addr) {
+            CacheOutcome::Hit => {
+                self.stats.l1_hits += 1;
+                base
+            }
+            CacheOutcome::Miss => {
+                self.stats.l1_misses += 1;
+                let queue_l2 = self.l2_server.admit(now);
+                match self.l2.access(addr) {
+                    CacheOutcome::Hit => {
+                        self.stats.l2_hits += 1;
+                        base + u64::from(self.cfg.l2_latency) + queue_l2
+                    }
+                    CacheOutcome::Miss => {
+                        self.stats.l2_misses += 1;
+                        let queue_dram = self.dram_server.admit(now);
+                        base + u64::from(self.cfg.l2_latency)
+                            + queue_l2
+                            + u64::from(self.cfg.dram_latency)
+                            + queue_dram
+                    }
+                }
+            }
+        }
+    }
+
+    /// Timing for one **store** transaction (write-through, no allocate):
+    /// consumes L2/DRAM bandwidth; latency models store-buffer drain.
+    pub fn store(&mut self, l1: &mut Cache, addr: u64, now: u64) -> u64 {
+        self.stats.transactions += 1;
+        let base = u64::from(self.cfg.l1_hit_latency);
+        l1.access_store(addr);
+        let queue_l2 = self.l2_server.admit(now);
+        match self.l2.access_store(addr) {
+            CacheOutcome::Hit => base + u64::from(self.cfg.l2_latency) + queue_l2,
+            CacheOutcome::Miss => {
+                let queue_dram = self.dram_server.admit(now);
+                base + u64::from(self.cfg.l2_latency) + queue_l2 + queue_dram
+                // no dram_latency: stores are posted; only bandwidth matters
+            }
+        }
+    }
+}
+
+/// Generate the line addresses one warp-level execution of `pattern`
+/// produces, appending to `out`. Advances the warp's pattern counters/RNG —
+/// call exactly once per issued memory instruction.
+pub fn generate_addresses(
+    pattern: GlobalPattern,
+    warp: &mut Warp,
+    grid_block: u32,
+    out: &mut Vec<u64>,
+) {
+    // Per-block jitter of a few lines breaks the pathological set alignment
+    // that power-of-two block spans would otherwise create (every block's
+    // region mapping to the same cache sets) — the moral equivalent of the
+    // address hashing real memory controllers apply.
+    let block_base = layout::block_base(grid_block);
+    match pattern {
+        GlobalPattern::Stream => {
+            let lines_per_warp = layout::STREAM_PER_WARP / LINE_BYTES;
+            let line = u64::from(warp.stream_pos) % lines_per_warp;
+            warp.stream_pos = warp.stream_pos.wrapping_add(1);
+            out.push(
+                block_base
+                    + layout::STREAM_BASE
+                    + u64::from(warp.warp_in_block) * layout::STREAM_PER_WARP
+                    + line * LINE_BYTES,
+            );
+        }
+        GlobalPattern::BlockTile { tile_lines } => {
+            let tl = u64::from(tile_lines.max(1));
+            let line = (u64::from(warp.warp_in_block) * 7 + u64::from(warp.tile_pos)) % tl;
+            warp.tile_pos = warp.tile_pos.wrapping_add(1);
+            out.push(block_base + layout::TILE_BASE + line * LINE_BYTES);
+        }
+        GlobalPattern::KernelTile { tile_lines } => {
+            let tl = u64::from(tile_lines.max(1));
+            let line = (u64::from(warp.warp_in_block) * 3 + u64::from(warp.tile_pos)) % tl;
+            warp.tile_pos = warp.tile_pos.wrapping_add(1);
+            out.push(layout::KERNEL_TILE_BASE + line * LINE_BYTES);
+        }
+        GlobalPattern::Scatter { span_lines, txns } => {
+            // Cap the span so the region stays inside the block span.
+            let span = u64::from(span_lines.max(1)).min(4096);
+            for _ in 0..txns.max(1) {
+                let line = warp.rng.next_below(span);
+                out.push(block_base + layout::SCATTER_BASE + line * LINE_BYTES);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_core::MemConfig;
+
+    fn mem() -> (SharedMem, Cache) {
+        let cfg = MemConfig::default();
+        let l1 = Cache::new(u64::from(cfg.l1_bytes), cfg.l1_ways, u64::from(cfg.line_bytes));
+        (SharedMem::new(cfg), l1)
+    }
+
+    #[test]
+    fn l1_hit_is_cheapest() {
+        let (mut sm, mut l1) = mem();
+        let cold = sm.load(&mut l1, 0x1000, 0);
+        let warm = sm.load(&mut l1, 0x1000, 0);
+        assert!(warm < cold);
+        assert_eq!(warm, u64::from(sm.cfg.l1_hit_latency));
+        assert_eq!(sm.stats.l1_hits, 1);
+        assert_eq!(sm.stats.l1_misses, 1);
+    }
+
+    #[test]
+    fn l2_hit_cheaper_than_dram() {
+        let (mut sm, mut l1a) = mem();
+        let cfg = sm.cfg;
+        let mut l1b = Cache::new(u64::from(cfg.l1_bytes), cfg.l1_ways, u64::from(cfg.line_bytes));
+        // SM A warms L2; SM B misses L1 but hits L2.
+        let dram = sm.load(&mut l1a, 0x8000, 0);
+        let l2hit = sm.load(&mut l1b, 0x8000, 0);
+        assert!(l2hit < dram);
+        assert_eq!(sm.stats.l2_hits, 1);
+        assert_eq!(sm.stats.l2_misses, 1);
+    }
+
+    #[test]
+    fn dram_bandwidth_builds_queues() {
+        let (mut sm, mut l1) = mem();
+        // Distinct lines all missing to DRAM at the same cycle: latencies
+        // must grow (non-strictly, thanks to sub-cycle service resolution)
+        // as the service queue backs up.
+        let lats: Vec<u64> =
+            (0u64..8).map(|i| sm.load(&mut l1, 0x100_0000 + i * 0x10_0000, 0)).collect();
+        assert!(lats.windows(2).all(|w| w[0] <= w[1]), "{lats:?}");
+        assert!(lats[7] > lats[0], "{lats:?}");
+    }
+
+    #[test]
+    fn stream_addresses_advance_and_stay_disjoint_per_warp() {
+        let mut w0 = Warp::new(0, 0, 0, 32, 0, 5);
+        let mut w1 = Warp::new(1, 0, 1, 32, 0, 5);
+        let mut a = Vec::new();
+        generate_addresses(GlobalPattern::Stream, &mut w0, 5, &mut a);
+        generate_addresses(GlobalPattern::Stream, &mut w0, 5, &mut a);
+        generate_addresses(GlobalPattern::Stream, &mut w1, 5, &mut a);
+        assert_eq!(a[1], a[0] + LINE_BYTES);
+        assert_ne!(a[2], a[0]);
+        // Warp regions are disjoint.
+        assert_eq!(a[2] - a[0], layout::STREAM_PER_WARP);
+    }
+
+    #[test]
+    fn block_tile_wraps_within_tile() {
+        let mut w = Warp::new(0, 0, 0, 32, 0, 1);
+        let mut a = Vec::new();
+        for _ in 0..10 {
+            generate_addresses(GlobalPattern::BlockTile { tile_lines: 4 }, &mut w, 1, &mut a);
+        }
+        let base = layout::block_base(1) + layout::TILE_BASE;
+        for addr in &a {
+            assert!(*addr >= base && *addr < base + 4 * LINE_BYTES);
+        }
+        // Periodicity 4.
+        assert_eq!(a[0], a[4]);
+    }
+
+    #[test]
+    fn kernel_tile_is_shared_across_blocks() {
+        let mut w_b0 = Warp::new(0, 0, 0, 32, 0, 0);
+        let mut w_b9 = Warp::new(0, 0, 0, 32, 0, 9);
+        let mut a = Vec::new();
+        generate_addresses(GlobalPattern::KernelTile { tile_lines: 8 }, &mut w_b0, 0, &mut a);
+        generate_addresses(GlobalPattern::KernelTile { tile_lines: 8 }, &mut w_b9, 9, &mut a);
+        assert_eq!(a[0], a[1]); // same position → same address despite block
+    }
+
+    #[test]
+    fn scatter_emits_requested_transactions_in_span() {
+        let mut w = Warp::new(0, 0, 0, 32, 0, 2);
+        let mut a = Vec::new();
+        generate_addresses(
+            GlobalPattern::Scatter { span_lines: 64, txns: 5 },
+            &mut w,
+            2,
+            &mut a,
+        );
+        assert_eq!(a.len(), 5);
+        let base = layout::block_base(2) + layout::SCATTER_BASE;
+        for addr in &a {
+            assert!(*addr >= base && *addr < base + 64 * LINE_BYTES);
+        }
+    }
+}

@@ -1,0 +1,612 @@
+//! The SM pipeline: per-cycle readiness scan, dual-issue scheduling,
+//! execution, barriers, block completion and refill.
+//!
+//! Each cycle an SM:
+//!
+//! 1. drains due writebacks (scoreboard clears, MSHR slots free),
+//! 2. scans every resident warp and classifies it *ready* or blocked
+//!    (scoreboard hazard, MSHR full, barrier, pair-lock busy-wait per the
+//!    Fig. 3/Fig. 4 automata, dynamic-throttle suppression),
+//! 3. lets each scheduler unit pick one ready warp (policy from
+//!    [`grs_core::sched`]) and issues its next instruction, subject to one
+//!    global-memory and one scratchpad instruction per SM per cycle
+//!    (structural ports),
+//! 4. accounts the cycle as productive, *stall* (something was blocked by a
+//!    lock/throttle/port) or *idle* (everything ready-less was waiting on
+//!    latency or barriers) — the paper's Fig. 9(c,d) split.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use grs_core::{
+    DynThrottle, LatencyConfig, LaunchPlan, RegAccess, RegPairLocks, Scheduler, SchedulerKind,
+    SmemPairLock, WarpClass, WarpView,
+};
+use grs_isa::Op;
+
+use crate::block::{pairing_of_slot, Block, PairLocks, Pairing};
+use crate::cache::Cache;
+use crate::dispatch::Dispatcher;
+use crate::kinfo::KernelInfo;
+use crate::mem::{generate_addresses, SharedMem};
+use crate::stats::SmStats;
+use crate::warp::{Warp, NO_REG};
+
+/// Writeback event: completes at `.0`, targets warp slot `.1`, clears
+/// register `.2` (`NO_REG` for stores), and frees an MSHR slot when `.3`.
+type Writeback = (u64, u32, u16, bool);
+
+/// One streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    /// SM index (SM0 is the throttle reference).
+    pub id: usize,
+    /// L1 data cache.
+    pub l1: Cache,
+    /// Resident blocks by slot.
+    pub blocks: Vec<Option<Block>>,
+    /// Warp contexts: block slot `b` owns warp slots
+    /// `b*warps_per_block ..= (b+1)*warps_per_block - 1`.
+    pub warps: Vec<Option<Warp>>,
+    /// Pair-lock state, one entry per shared pair of the launch plan.
+    pub pairs: Vec<PairLocks>,
+    /// The launch plan this SM was configured with.
+    pub plan: LaunchPlan,
+    /// Statistics.
+    pub stats: SmStats,
+    sched: Scheduler,
+    units: usize,
+    next_dyn_id: u64,
+    writebacks: BinaryHeap<Reverse<Writeback>>,
+    // per-cycle scratch, reused to avoid allocation
+    views: Vec<WarpView>,
+    addr_buf: Vec<u64>,
+}
+
+impl Sm {
+    /// Build an SM for one run.
+    pub fn new(
+        id: usize,
+        plan: LaunchPlan,
+        kinfo: &KernelInfo,
+        sched_kind: SchedulerKind,
+        units: usize,
+        l1: Cache,
+        register_sharing: bool,
+    ) -> Self {
+        let slots = plan.max_blocks as usize;
+        let wpb = kinfo.warps_per_block as usize;
+        let pairs = (0..plan.shared_pairs)
+            .map(|_| {
+                if register_sharing {
+                    PairLocks::Reg(RegPairLocks::new(wpb))
+                } else {
+                    PairLocks::Smem(SmemPairLock::new())
+                }
+            })
+            .collect();
+        Sm {
+            id,
+            l1,
+            blocks: vec![None; slots],
+            warps: vec![None; slots * wpb],
+            pairs,
+            plan,
+            stats: SmStats::default(),
+            sched: sched_kind.build(slots * wpb, units),
+            units,
+            next_dyn_id: 0,
+            writebacks: BinaryHeap::new(),
+            views: Vec::with_capacity(slots * wpb),
+            addr_buf: Vec::with_capacity(32),
+        }
+    }
+
+    /// Number of blocks currently resident.
+    pub fn live_blocks(&self) -> u32 {
+        self.blocks.iter().filter(|b| b.is_some()).count() as u32
+    }
+
+    /// Does any slot lack a block?
+    pub fn has_free_slot(&self) -> bool {
+        self.blocks.iter().any(|b| b.is_none())
+    }
+
+    /// Launch grid block `grid_id` into the first free slot. Panics if no
+    /// slot is free (callers check [`Self::has_free_slot`]).
+    pub fn launch_block(&mut self, grid_id: u32, kinfo: &KernelInfo) {
+        let slot = self
+            .blocks
+            .iter()
+            .position(|b| b.is_none())
+            .expect("launch_block requires a free slot");
+        let wpb = kinfo.warps_per_block;
+        self.blocks[slot] = Some(Block {
+            grid_id,
+            live_warps: wpb,
+            at_barrier: 0,
+            pairing: pairing_of_slot(slot as u32, self.plan.unshared),
+        });
+        for w in 0..wpb {
+            let dyn_id = self.next_dyn_id;
+            self.next_dyn_id += 1;
+            self.warps[slot * wpb as usize + w as usize] = Some(Warp::new(
+                dyn_id,
+                slot as u32,
+                w,
+                kinfo.threads_in_warp[w as usize],
+                kinfo.num_loops,
+                grid_id,
+            ));
+        }
+        self.stats.max_resident_blocks = self.stats.max_resident_blocks.max(self.live_blocks());
+    }
+
+    /// Advance one cycle.
+    pub fn step(
+        &mut self,
+        now: u64,
+        kinfo: &KernelInfo,
+        lat: &LatencyConfig,
+        shared: &mut SharedMem,
+        throttle: &mut DynThrottle,
+        dispatcher: &mut Dispatcher,
+    ) {
+        self.drain_writebacks(now);
+        let max_pending = shared.cfg.max_pending_per_warp;
+        let (any_live, any_stall_reason) = self.scan_readiness(kinfo, throttle, max_pending);
+
+        let mut issued = 0u32;
+        let mut port_conflict = false;
+        let mut global_port_used = false;
+        let mut smem_port_used = false;
+        for unit in 0..self.units {
+            let Some(slot) = self.sched.pick(unit, self.units, &self.views) else {
+                continue;
+            };
+            let pc = self.warps[slot].as_ref().expect("picked warp exists").pc as usize;
+            let op = kinfo.kernel.program.instrs[pc].op;
+            // Structural ports: one global-memory and one scratchpad
+            // instruction per SM per cycle.
+            if op.is_global_mem() {
+                if global_port_used {
+                    port_conflict = true;
+                    continue;
+                }
+                global_port_used = true;
+            } else if op.is_shared_mem() {
+                if smem_port_used {
+                    port_conflict = true;
+                    continue;
+                }
+                smem_port_used = true;
+            }
+            if self.issue(slot, now, kinfo, lat, shared, dispatcher) {
+                issued += 1;
+            } else {
+                port_conflict = true; // same-cycle lock race: counts as stall
+            }
+        }
+
+        if issued == 0 {
+            if any_stall_reason || port_conflict {
+                self.stats.stall_cycles += 1;
+            } else if any_live {
+                self.stats.idle_cycles += 1;
+            } else {
+                self.stats.empty_cycles += 1;
+            }
+            if any_live {
+                // The Sec. IV-C monitor compares per-SM lost cycles; both
+                // pipeline stalls and ready-less (memory-wait) cycles are
+                // symptoms of the interference it throttles.
+                throttle.note_stall(self.id);
+            }
+        }
+    }
+
+    fn drain_writebacks(&mut self, now: u64) {
+        while let Some(&Reverse((cycle, wslot, reg, is_mem))) = self.writebacks.peek() {
+            if cycle > now {
+                break;
+            }
+            self.writebacks.pop();
+            if let Some(w) = self.warps[wslot as usize].as_mut() {
+                w.clear_pending(reg);
+                if is_mem {
+                    w.outstanding_mem = w.outstanding_mem.saturating_sub(1);
+                }
+            }
+        }
+    }
+
+    /// Scan every resident warp, building the scheduler view. Returns
+    /// `(any_live, any_stall_reason)`.
+    fn scan_readiness(
+        &mut self,
+        kinfo: &KernelInfo,
+        throttle: &mut DynThrottle,
+        max_pending: u32,
+    ) -> (bool, bool) {
+        self.views.clear();
+        let mut any_live = false;
+        let mut any_stall = false;
+        for slot in 0..self.warps.len() {
+            let Some(w) = self.warps[slot].as_ref() else { continue };
+            if w.finished {
+                continue;
+            }
+            any_live = true;
+            let block = self.blocks[w.block_slot as usize]
+                .as_ref()
+                .expect("live warp belongs to a live block");
+            // OWF class (paper Sec. IV-A). Ownership only exists once a
+            // block waits on shared resources held by its partner: a shared
+            // block whose partner slot is empty, or whose pair has no
+            // determined owner yet, behaves like an unshared block.
+            let class = match block.pairing {
+                Pairing::Unshared => WarpClass::Unshared,
+                Pairing::Paired { pair, member } => {
+                    let base = self.plan.unshared + 2 * pair;
+                    let partner_slot =
+                        base + if member == grs_core::PairMember::A { 1 } else { 0 };
+                    let partner_present = self.blocks[partner_slot as usize].is_some();
+                    match self.pairs[pair as usize].owner() {
+                        _ if !partner_present => WarpClass::Unshared,
+                        Some(m) if m == member => WarpClass::Owner,
+                        Some(_) => WarpClass::NonOwner,
+                        None => WarpClass::Unshared,
+                    }
+                }
+            };
+
+            let mut ready = false;
+            if !w.at_barrier {
+                let pc = w.pc as usize;
+                let instr = &kinfo.kernel.program.instrs[pc];
+                let hazard = w.has_hazard(kinfo.op_masks[pc]);
+                let drain_for_exit =
+                    matches!(instr.op, Op::Exit) && (w.outstanding_mem > 0 || w.pending_regs != 0);
+                let mshr_full = instr.op.is_global_mem() && w.outstanding_mem >= max_pending;
+                if mshr_full {
+                    // Structural congestion: the warp has work but the
+                    // memory pipeline cannot accept it — a *pipeline stall*
+                    // in the paper's Sec. VI-B accounting (and the signal
+                    // the Sec. IV-C throttle monitors).
+                    any_stall = true;
+                }
+                if !hazard && !drain_for_exit && !mshr_full {
+                    ready = true;
+                    // Pair-lock busy-wait (Fig. 3 / Fig. 4 step (e)): the
+                    // warp is simply not ready; it retries next cycle.
+                    if let Pairing::Paired { pair, member } = block.pairing {
+                        if kinfo.uses_shared_reg[pc] {
+                            if let PairLocks::Reg(l) = &self.pairs[pair as usize] {
+                                if !l.can_access(member, w.warp_in_block as usize) {
+                                    ready = false;
+                                    self.stats.lock_retries += 1;
+                                }
+                            }
+                        }
+                        if ready && kinfo.uses_shared_smem[pc] {
+                            if let PairLocks::Smem(l) = &self.pairs[pair as usize] {
+                                if !l.can_access(member) {
+                                    ready = false;
+                                    self.stats.lock_retries += 1;
+                                }
+                            }
+                        }
+                    }
+                    // Dynamic warp-execution throttle (paper Sec. IV-C):
+                    // intentional suppression, not a pipeline stall.
+                    if ready
+                        && instr.op.is_global_mem()
+                        && class == WarpClass::NonOwner
+                        && throttle.enabled()
+                        && !throttle.allow(self.id)
+                    {
+                        ready = false;
+                        self.stats.throttled_issues += 1;
+                    }
+                }
+            }
+            self.views.push(WarpView { slot, dynamic_id: w.dynamic_id, class, ready });
+        }
+        (any_live, any_stall)
+    }
+
+    /// Issue the next instruction of the warp in `slot`. Returns false only
+    /// when a same-cycle lock race invalidated the readiness decision.
+    fn issue(
+        &mut self,
+        slot: usize,
+        now: u64,
+        kinfo: &KernelInfo,
+        lat: &LatencyConfig,
+        shared: &mut SharedMem,
+        dispatcher: &mut Dispatcher,
+    ) -> bool {
+        let (pc, block_slot, warp_in_block, pairing) = {
+            let w = self.warps[slot].as_ref().expect("issuing a live warp");
+            let b = self.blocks[w.block_slot as usize].as_ref().expect("live block");
+            (w.pc as usize, w.block_slot, w.warp_in_block, b.pairing)
+        };
+        let instr = kinfo.kernel.program.instrs[pc];
+
+        // Acquire pair locks for real (a peer scheduler unit may have taken
+        // them since the readiness scan).
+        if let Pairing::Paired { pair, member } = pairing {
+            if kinfo.uses_shared_reg[pc] {
+                if let PairLocks::Reg(l) = &mut self.pairs[pair as usize] {
+                    if l.access_shared(member, warp_in_block as usize) == RegAccess::Blocked {
+                        self.stats.lock_retries += 1;
+                        return false;
+                    }
+                }
+            }
+            if kinfo.uses_shared_smem[pc] {
+                if let PairLocks::Smem(l) = &mut self.pairs[pair as usize] {
+                    if l.access_shared(member) == RegAccess::Blocked {
+                        self.stats.lock_retries += 1;
+                        return false;
+                    }
+                }
+            }
+        }
+
+        let threads;
+        {
+            let w = self.warps[slot].as_mut().expect("issuing a live warp");
+            threads = w.threads;
+            match instr.op {
+                Op::IAlu => advance_alu(w, &instr, now, u64::from(lat.ialu), slot, &mut self.writebacks),
+                Op::IMul => advance_alu(w, &instr, now, u64::from(lat.imul), slot, &mut self.writebacks),
+                Op::FAdd | Op::FMul | Op::FFma => {
+                    advance_alu(w, &instr, now, u64::from(lat.fp), slot, &mut self.writebacks)
+                }
+                Op::Sfu => advance_alu(w, &instr, now, u64::from(lat.sfu), slot, &mut self.writebacks),
+                Op::LdShared(_) => {
+                    advance_alu(w, &instr, now, u64::from(lat.scratchpad), slot, &mut self.writebacks)
+                }
+                Op::StShared(_) => {
+                    w.pc += 1; // fire-and-forget scratchpad write
+                }
+                Op::LdGlobal(p) | Op::StGlobal(p) => {
+                    self.addr_buf.clear();
+                    let grid_id = self.blocks[block_slot as usize].as_ref().unwrap().grid_id;
+                    generate_addresses(p, w, grid_id, &mut self.addr_buf);
+                    let is_load = matches!(instr.op, Op::LdGlobal(_));
+                    let mut max_lat = 0u64;
+                    for &addr in &self.addr_buf {
+                        let l = if is_load {
+                            shared.load(&mut self.l1, addr, now)
+                        } else {
+                            shared.store(&mut self.l1, addr, now)
+                        };
+                        max_lat = max_lat.max(l);
+                    }
+                    let reg = if is_load {
+                        let r = instr.dst.map(|d| d.0).unwrap_or(NO_REG);
+                        if r != NO_REG {
+                            w.mark_pending(r);
+                        }
+                        r
+                    } else {
+                        NO_REG
+                    };
+                    w.outstanding_mem += 1;
+                    self.writebacks.push(Reverse((now + max_lat, slot as u32, reg, true)));
+                    w.pc += 1;
+                }
+                Op::Barrier => {
+                    w.at_barrier = true;
+                    w.pc += 1;
+                    let block = self.blocks[block_slot as usize].as_mut().unwrap();
+                    block.at_barrier += 1;
+                    if block.at_barrier == block.live_warps {
+                        release_barrier(&mut self.warps, block_slot, kinfo.warps_per_block);
+                        self.blocks[block_slot as usize].as_mut().unwrap().at_barrier = 0;
+                    }
+                }
+                Op::BranchBack { target, trips, loop_id } => {
+                    let id = loop_id as usize;
+                    if w.loop_init & (1 << id) == 0 {
+                        w.loop_counters[id] = trips;
+                        w.loop_init |= 1 << id;
+                    }
+                    if w.loop_counters[id] > 0 {
+                        w.loop_counters[id] -= 1;
+                        w.pc = u32::from(target);
+                    } else {
+                        w.loop_init &= !(1 << id);
+                        w.pc += 1;
+                    }
+                }
+                Op::Exit => {
+                    w.finished = true;
+                    self.retire_warp(slot, block_slot, warp_in_block, pairing, kinfo, dispatcher);
+                }
+            }
+        }
+
+        self.stats.warp_instrs += 1;
+        self.stats.thread_instrs += u64::from(threads);
+        true
+    }
+
+    /// Handle a warp retirement: release its register pair lock, resolve
+    /// barriers it is no longer part of, and complete the block when it was
+    /// the last warp.
+    fn retire_warp(
+        &mut self,
+        _slot: usize,
+        block_slot: u32,
+        warp_in_block: u32,
+        pairing: Pairing,
+        kinfo: &KernelInfo,
+        dispatcher: &mut Dispatcher,
+    ) {
+        if let Pairing::Paired { pair, member } = pairing {
+            if let PairLocks::Reg(l) = &mut self.pairs[pair as usize] {
+                l.warp_finished(member, warp_in_block as usize);
+            }
+        }
+        let block = self.blocks[block_slot as usize].as_mut().expect("retiring into live block");
+        block.live_warps -= 1;
+        if block.live_warps == 0 {
+            self.complete_block(block_slot, pairing, kinfo, dispatcher);
+        } else if block.at_barrier > 0 && block.at_barrier == block.live_warps {
+            // Remaining warps were all at the barrier; the exit releases it.
+            release_barrier(&mut self.warps, block_slot, kinfo.warps_per_block);
+            self.blocks[block_slot as usize].as_mut().unwrap().at_barrier = 0;
+        }
+    }
+
+    fn complete_block(
+        &mut self,
+        block_slot: u32,
+        pairing: Pairing,
+        kinfo: &KernelInfo,
+        dispatcher: &mut Dispatcher,
+    ) {
+        if let Pairing::Paired { pair, member } = pairing {
+            self.pairs[pair as usize].block_completed(member);
+        }
+        self.stats.blocks_completed += 1;
+        let wpb = kinfo.warps_per_block as usize;
+        let base = block_slot as usize * wpb;
+        for w in &mut self.warps[base..base + wpb] {
+            debug_assert!(w.as_ref().map(|w| w.finished).unwrap_or(true));
+            *w = None;
+        }
+        self.blocks[block_slot as usize] = None;
+        // Refill immediately (paper Sec. IV: the replacement enters the pair
+        // as the new non-owner).
+        if let Some(gid) = dispatcher.next_block() {
+            self.launch_block(gid, kinfo);
+        }
+    }
+}
+
+fn advance_alu(
+    w: &mut Warp,
+    instr: &grs_isa::Instr,
+    now: u64,
+    latency: u64,
+    slot: usize,
+    writebacks: &mut BinaryHeap<Reverse<Writeback>>,
+) {
+    if let Some(d) = instr.dst {
+        w.mark_pending(d.0);
+        writebacks.push(Reverse((now + latency, slot as u32, d.0, false)));
+    }
+    w.pc += 1;
+}
+
+fn release_barrier(warps: &mut [Option<Warp>], block_slot: u32, warps_per_block: u32) {
+    let base = block_slot as usize * warps_per_block as usize;
+    for w in warps[base..base + warps_per_block as usize].iter_mut().flatten() {
+        w.at_barrier = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_core::{GpuConfig, ResourceKind, Threshold};
+    use grs_isa::KernelBuilder;
+
+    fn kinfo(regs: u32, threads: u32) -> KernelInfo {
+        let k = KernelBuilder::new("t")
+            .threads_per_block(threads)
+            .regs_per_thread(regs)
+            .grid_blocks(16)
+            .ialu(4)
+            .build();
+        KernelInfo::new(k, None, Threshold::paper_default())
+    }
+
+    fn plan(unshared: u32, pairs: u32) -> LaunchPlan {
+        LaunchPlan {
+            unshared,
+            shared_pairs: pairs,
+            max_blocks: unshared + 2 * pairs,
+            baseline_blocks: unshared + pairs,
+            resource: ResourceKind::Registers,
+        }
+    }
+
+    fn sm(ki: &KernelInfo, p: LaunchPlan) -> Sm {
+        let cfg = GpuConfig::tiny();
+        let l1 = Cache::new(
+            u64::from(cfg.mem.l1_bytes),
+            cfg.mem.l1_ways,
+            u64::from(cfg.mem.line_bytes),
+        );
+        Sm::new(0, p, ki, SchedulerKind::Lrr, 2, l1, true)
+    }
+
+    #[test]
+    fn launch_fills_slots_and_counts_residency() {
+        let ki = kinfo(8, 64);
+        let mut s = sm(&ki, plan(3, 0));
+        assert!(s.has_free_slot());
+        s.launch_block(0, &ki);
+        s.launch_block(1, &ki);
+        assert_eq!(s.live_blocks(), 2);
+        assert_eq!(s.stats.max_resident_blocks, 2);
+        s.launch_block(2, &ki);
+        assert!(!s.has_free_slot());
+    }
+
+    #[test]
+    fn whole_block_retires_and_slot_refills() {
+        let ki = kinfo(8, 32);
+        let cfg = GpuConfig::tiny();
+        let mut s = sm(&ki, plan(1, 0));
+        let mut shared = SharedMem::new(cfg.mem);
+        let mut throttle = DynThrottle::disabled(1);
+        let mut disp = Dispatcher::new(3);
+        s.launch_block(disp.next_block().unwrap(), &ki);
+        let lat = cfg.lat;
+        for cycle in 0..2000 {
+            s.step(cycle, &ki, &lat, &mut shared, &mut throttle, &mut disp);
+            if s.stats.blocks_completed == 3 && s.live_blocks() == 0 {
+                break;
+            }
+        }
+        assert_eq!(s.stats.blocks_completed, 3);
+        assert_eq!(disp.remaining(), 0);
+        // 5 dynamic warp instructions per block (4 ialu + exit) × 3 blocks.
+        assert_eq!(s.stats.warp_instrs, 15);
+        assert_eq!(s.stats.thread_instrs, 15 * 32);
+    }
+
+    #[test]
+    fn barrier_joins_all_warps_of_a_block() {
+        let k = KernelBuilder::new("barrier")
+            .threads_per_block(64) // 2 warps
+            .regs_per_thread(8)
+            .grid_blocks(1)
+            .ialu(1)
+            .barrier()
+            .ialu(1)
+            .build();
+        let ki = KernelInfo::new(k, None, Threshold::paper_default());
+        let cfg = GpuConfig::tiny();
+        let mut s = sm(&ki, plan(1, 0));
+        let mut shared = SharedMem::new(cfg.mem);
+        let mut throttle = DynThrottle::disabled(1);
+        let mut disp = Dispatcher::new(1);
+        s.launch_block(disp.next_block().unwrap(), &ki);
+        for cycle in 0..1000 {
+            s.step(cycle, &ki, &cfg.lat, &mut shared, &mut throttle, &mut disp);
+            if s.live_blocks() == 0 {
+                break;
+            }
+        }
+        assert_eq!(s.stats.blocks_completed, 1);
+        // 2 warps × 4 instructions (ialu, barrier, ialu, exit).
+        assert_eq!(s.stats.warp_instrs, 8);
+    }
+}

@@ -1,0 +1,180 @@
+//! Simulation statistics — the quantities the paper's figures plot.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-SM counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SmStats {
+    /// Warp instructions issued.
+    pub warp_instrs: u64,
+    /// Thread instructions issued (warp instructions × active threads).
+    pub thread_instrs: u64,
+    /// Cycles with zero issues while ≥1 warp was blocked by a lock, the
+    /// dynamic throttle, or a structural port conflict ("pipeline stall",
+    /// paper Sec. VI-B).
+    pub stall_cycles: u64,
+    /// Cycles with zero issues while every live warp waited on long-latency
+    /// results or barriers ("idle", paper Sec. VI-B).
+    pub idle_cycles: u64,
+    /// Cycles with no resident work at all (grid smaller than the machine or
+    /// end-of-grid drain); excluded from the stall/idle split.
+    pub empty_cycles: u64,
+    /// Thread blocks completed on this SM.
+    pub blocks_completed: u64,
+    /// Maximum resident blocks observed.
+    pub max_resident_blocks: u32,
+    /// Lock-acquisition attempts that were denied (busy-wait retries).
+    pub lock_retries: u64,
+    /// Non-owner memory instructions suppressed by the dynamic throttle.
+    pub throttled_issues: u64,
+}
+
+/// Memory-hierarchy counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// L1 load hits (all SMs).
+    pub l1_hits: u64,
+    /// L1 load misses.
+    pub l1_misses: u64,
+    /// L2 load hits.
+    pub l2_hits: u64,
+    /// L2 load misses (DRAM accesses).
+    pub l2_misses: u64,
+    /// Total global-memory transactions issued by coalescers.
+    pub transactions: u64,
+}
+
+impl MemStats {
+    /// L1 miss ratio.
+    pub fn l1_miss_ratio(&self) -> f64 {
+        ratio(self.l1_misses, self.l1_hits + self.l1_misses)
+    }
+
+    /// L2 miss ratio.
+    pub fn l2_miss_ratio(&self) -> f64 {
+        ratio(self.l2_misses, self.l2_hits + self.l2_misses)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Whole-run statistics returned by [`crate::Simulator::run`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Sum of warp instructions across SMs.
+    pub warp_instrs: u64,
+    /// Sum of thread instructions across SMs — the numerator of the paper's
+    /// IPC metric.
+    pub thread_instrs: u64,
+    /// Sum of per-SM stall cycles.
+    pub stall_cycles: u64,
+    /// Sum of per-SM idle cycles.
+    pub idle_cycles: u64,
+    /// Sum of per-SM empty cycles.
+    pub empty_cycles: u64,
+    /// Blocks completed (must equal the grid size on a clean run).
+    pub blocks_completed: u64,
+    /// Max resident blocks observed on any SM — the quantity of paper
+    /// Fig. 8(a)/(b) and Tables VI/VIII.
+    pub max_resident_blocks: u32,
+    /// Busy-wait lock retries.
+    pub lock_retries: u64,
+    /// Throttle suppressions.
+    pub throttled_issues: u64,
+    /// Memory counters.
+    pub mem: MemStats,
+    /// Per-SM breakdown.
+    pub per_sm: Vec<SmStats>,
+    /// True if the run hit the safety cycle bound before the grid finished.
+    pub timed_out: bool,
+}
+
+impl SimStats {
+    /// Instructions per cycle (thread instructions, paper metric).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Percentage IPC improvement over `baseline`
+    /// (`(IPC − IPC_base)/IPC_base × 100`, the paper's headline metric).
+    pub fn ipc_improvement_pct(&self, baseline: &SimStats) -> f64 {
+        let b = baseline.ipc();
+        if b == 0.0 {
+            0.0
+        } else {
+            (self.ipc() - b) / b * 100.0
+        }
+    }
+
+    /// Percentage decrease in stall cycles vs `baseline` (paper Fig. 9(c,d));
+    /// negative values mean stalls increased.
+    pub fn stall_decrease_pct(&self, baseline: &SimStats) -> f64 {
+        decrease_pct(self.stall_cycles, baseline.stall_cycles)
+    }
+
+    /// Percentage decrease in idle cycles vs `baseline`.
+    pub fn idle_decrease_pct(&self, baseline: &SimStats) -> f64 {
+        decrease_pct(self.idle_cycles, baseline.idle_cycles)
+    }
+}
+
+fn decrease_pct(now: u64, before: u64) -> f64 {
+    if before == 0 {
+        if now == 0 {
+            0.0
+        } else {
+            -100.0
+        }
+    } else {
+        (before as f64 - now as f64) / before as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_thread_instrs_per_cycle() {
+        let s = SimStats { cycles: 100, thread_instrs: 2500, ..Default::default() };
+        assert_eq!(s.ipc(), 25.0);
+        assert_eq!(SimStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn improvement_pct() {
+        let base = SimStats { cycles: 100, thread_instrs: 1000, ..Default::default() };
+        let better = SimStats { cycles: 100, thread_instrs: 1200, ..Default::default() };
+        assert!((better.ipc_improvement_pct(&base) - 20.0).abs() < 1e-12);
+        assert!((base.ipc_improvement_pct(&better) + 16.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn decrease_pct_handles_zero_baselines() {
+        let zero = SimStats::default();
+        let some = SimStats { stall_cycles: 50, ..Default::default() };
+        assert_eq!(zero.stall_decrease_pct(&zero), 0.0);
+        assert_eq!(some.stall_decrease_pct(&zero), -100.0);
+        assert_eq!(zero.stall_decrease_pct(&some), 100.0);
+    }
+
+    #[test]
+    fn mem_ratios() {
+        let m = MemStats { l1_hits: 75, l1_misses: 25, l2_hits: 20, l2_misses: 5, transactions: 100 };
+        assert!((m.l1_miss_ratio() - 0.25).abs() < 1e-12);
+        assert!((m.l2_miss_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(MemStats::default().l1_miss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property tests for the simulator's memory components.
+
+use grs_sim::cache::{Cache, CacheOutcome};
+use grs_sim::server::ServerQueue;
+use proptest::prelude::*;
+
+proptest! {
+    /// A line just loaded must hit on immediate re-access.
+    #[test]
+    fn loaded_line_hits_immediately(addrs in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut c = Cache::new(16 * 1024, 4, 128);
+        for addr in addrs {
+            c.access(addr);
+            prop_assert_eq!(c.access(addr), CacheOutcome::Hit);
+        }
+    }
+
+    /// Hits + misses equals the number of load accesses.
+    #[test]
+    fn cache_counters_are_conserved(addrs in proptest::collection::vec(0u64..1u64<<20, 1..300)) {
+        let mut c = Cache::new(4 * 1024, 2, 128);
+        for &a in &addrs {
+            c.access(a);
+        }
+        prop_assert_eq!(c.hits + c.misses, addrs.len() as u64);
+    }
+
+    /// A working set that fits in one set's ways never misses after warmup.
+    #[test]
+    fn small_working_set_never_misses_after_warmup(start in 0u64..1000u64) {
+        let mut c = Cache::new(16 * 1024, 4, 128);
+        let lines: Vec<u64> = (0..3).map(|i| (start + i * c.sets() as u64) * 128).collect();
+        for &l in &lines {
+            c.access(l);
+        }
+        let misses = c.misses;
+        for _ in 0..10 {
+            for &l in &lines {
+                c.access(l);
+            }
+        }
+        prop_assert_eq!(c.misses, misses);
+    }
+
+    /// Server queue delays are non-negative and the backlog never exceeds
+    /// (transactions × interval) cycles.
+    #[test]
+    fn server_queue_conserves_work(times in proptest::collection::vec(0u64..10_000, 1..100), q4 in 1u32..16) {
+        let mut times = times;
+        times.sort_unstable();
+        let mut s = ServerQueue::new(q4);
+        for &t in &times {
+            let d = s.admit(t);
+            prop_assert!(d <= times.len() as u64 * u64::from(q4) / 4 + 1);
+        }
+        prop_assert_eq!(s.serviced, times.len() as u64);
+    }
+
+    /// Admissions at strictly increasing, well-spaced times never queue.
+    #[test]
+    fn spaced_arrivals_have_zero_delay(n in 1usize..50, q4 in 1u32..8) {
+        let mut s = ServerQueue::new(q4);
+        for i in 0..n {
+            let t = i as u64 * (u64::from(q4) + 4);
+            prop_assert_eq!(s.admit(t), 0);
+        }
+    }
+}

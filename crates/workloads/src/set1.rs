@@ -1,0 +1,353 @@
+//! Set-1: benchmarks whose residency is limited by **registers**
+//! (paper Table II).
+//!
+//! Footprints (threads/block, registers/thread) are copied exactly from
+//! Table II, so `⌊R/Rtb⌋` and every launch-plan quantity match the paper
+//! bit-for-bit. Instruction mixes encode each benchmark's qualitative
+//! behaviour as described in the paper's Sec. VI analysis: compute-bound
+//! kernels are long dependency chains over cache-resident tiles (baseline
+//! residency cannot hide the latency, doubled residency can), memory-bound
+//! kernels stream or scatter against DRAM bandwidth, and the two
+//! cache-sensitive kernels (mri-q, LIB) size their per-block tiles right at
+//! the L1/L2 capacity edge so the extra shared blocks tip them into
+//! thrashing.
+
+use grs_isa::{GlobalPattern, Kernel, KernelBuilder};
+
+/// Default grid size: a few waves of the maximum-residency configuration on
+/// the 14-SM machine, enough for steady-state behaviour without slow runs.
+pub const GRID: u32 = 672;
+
+/// Rotate the declaration order of a kernel's *upper* registers (those used
+/// by its register-rich compute phase) so that some carry adversarial
+/// sequence numbers — the situation of paper Fig. 7(a), where `$p0`/`$r124`
+/// sit at sequence 31/35. The low "pointer/index" registers (the ones the
+/// memory-walking phase lives in) keep their natural early positions, which
+/// is why the paper's kernels gain even with no reordering; the
+/// unroll/reorder pass then recovers the last few percent (paper Fig. 9(a):
+/// hotspot 13.65% -> 15.18%).
+fn scramble_decls(kernel: &mut Kernel, rotation: u16, keep: u16) {
+    let n = kernel.regs_per_thread as u16;
+    let hi = n - keep;
+    kernel.set_decl_order(
+        (0..n)
+            .map(|r| if r < keep { r } else { keep + ((r - keep + rotation) % hi) })
+            .collect(),
+    );
+}
+
+/// `backprop` / `bpnn_adjust_weights_cuda` (GPGPU-Sim suite): 256 threads,
+/// 24 regs. Weight-update sweep: one streamed load/store pair per element
+/// with a meaty FMA/SFU chain between. Moderately memory-bound; modest
+/// sharing gain, helped mainly by OWF (paper: +5.82%).
+pub fn backprop() -> Kernel {
+    let mut b = KernelBuilder::new("backprop/bpnn_adjust_weights_cuda")
+        .threads_per_block(256)
+        .regs_per_thread(24)
+        .smem_per_block(0)
+        .grid_blocks(GRID)
+        .reg_window(0, 2);
+    // Phase 1: streamed weight updates in the low index registers.
+    let p1 = b.here();
+    b = b
+        .ld_global(GlobalPattern::KernelTile { tile_lines: 64 })
+        .ffma(6)
+        .ialu(1)
+        .st_global(GlobalPattern::Stream)
+        .loop_back(p1, 12);
+    // Phase 2: momentum/bias computation over the full register set.
+    b = b.reg_window(2, u16::MAX);
+    let p2 = b.here();
+    b = b.ffma(6).sfu(1).st_global(GlobalPattern::Stream).loop_back(p2, 4);
+    let mut k = b.build();
+    scramble_decls(&mut k, 12, 4);
+    k
+}
+
+/// `b+tree` / `findRangeK` (GPGPU-Sim suite): 508 threads (16 warps, last
+/// partial), 24 regs. Pointer-chasing range search: a scattered node fetch
+/// followed by dependent key comparisons. Latency-bound with irregular
+/// per-warp progress; the third block hides misses (paper: +11.98%).
+pub fn btree() -> Kernel {
+    let mut b = KernelBuilder::new("b+tree/findRangeK")
+        .threads_per_block(508)
+        .regs_per_thread(24)
+        .smem_per_block(0)
+        .grid_blocks(GRID)
+        .reg_window(0, 2);
+    // Phase 1: node walk — pointer chasing lives entirely in two registers.
+    let p1 = b.here();
+    b = b.ld_global(GlobalPattern::Scatter { span_lines: 96, txns: 2 }).ialu(6).loop_back(p1, 12);
+    // Phase 2: range collection over the full register set.
+    b = b.reg_window(2, u16::MAX);
+    let p2 = b.here();
+    b = b.ialu(6).sfu(1).loop_back(p2, 3);
+    b = b.st_global(GlobalPattern::Stream);
+    let mut k = b.build();
+    scramble_decls(&mut k, 10, 4);
+    k
+}
+
+/// `hotspot` / `calculate_temp` (Rodinia): 256 threads, 36 regs. The paper's
+/// compute-bound showcase: SFU/FMA dependency chains over an L1-resident
+/// stencil tile, a barrier every few iterations. 24 resident warps cannot
+/// cover the chain latency; 48 can (paper: +21.76%, +13.65% with no
+/// optimization at all).
+pub fn hotspot() -> Kernel {
+    let mut b = KernelBuilder::new("hotspot/calculate_temp")
+        .threads_per_block(256)
+        .regs_per_thread(36)
+        .smem_per_block(1024)
+        .grid_blocks(GRID)
+        .reg_window(0, 3);
+    // Phase 1: the iterative stencil sweep runs in the low registers
+    // (three of them: the scramble displaces the third, so the reorder
+    // pass is what keeps phase 1 private — the paper's Fig. 7 situation).
+    b = b.ld_global(GlobalPattern::BlockTile { tile_lines: 4 });
+    let outer = b.here();
+    let inner = b.here();
+    b = b
+        .sfu(2)
+        .ffma(4)
+        .ld_global(GlobalPattern::BlockTile { tile_lines: 4 })
+        .loop_back(inner, 3);
+    b = b.barrier().loop_back(outer, 4);
+    // Phase 2: final temperature update uses the full register set.
+    b = b.reg_window(2, u16::MAX);
+    let p2 = b.here();
+    b = b.ffma(6).sfu(1).loop_back(p2, 2);
+    b = b.st_global(GlobalPattern::Stream);
+    let mut k = b.build();
+    scramble_decls(&mut k, 18, 2);
+    k
+}
+
+/// `LIB` / `Pathcalc_Portfolio_KernelGPU` (GPGPU-Sim suite): 192 threads,
+/// 36 regs. Monte-Carlo path calculation: per-block working set sized so the
+/// baseline's 4 blocks fit L2 but the shared 8 blocks do not — extra blocks
+/// trade latency hiding for L2 misses and the net gain is tiny
+/// (paper: +0.84%, slight OWF degradation).
+pub fn lib() -> Kernel {
+    let mut b = KernelBuilder::new("LIB/Pathcalc_Portfolio_KernelGPU")
+        .threads_per_block(192)
+        .regs_per_thread(36)
+        .smem_per_block(0)
+        .grid_blocks(GRID)
+        .reg_window(0, 2);
+    // Short setup phase; almost all work happens in the register-rich
+    // path-calculation loop, so non-owner warps contribute little.
+    b = b.ld_global(GlobalPattern::Stream).ialu(2);
+    b = b.reg_window(2, u16::MAX);
+    let p2 = b.here();
+    b = b
+        .ld_global(GlobalPattern::BlockTile { tile_lines: 96 })
+        .ffma(4)
+        .sfu(1)
+        .ld_global(GlobalPattern::BlockTile { tile_lines: 96 })
+        .ffma(4)
+        .loop_back(p2, 22);
+    let mut k = b.build();
+    scramble_decls(&mut k, 20, 4);
+    k
+}
+
+/// `MUM` / `mummergpuKernel` (GPGPU-Sim suite): 256 threads, 28 regs.
+/// Suffix-tree matching: memory-bound scattered reads over a large per-block
+/// span. Extra blocks add misses and queueing — only the Dyn throttle and
+/// OWF turn that into the paper's best register-sharing result (+24.14%,
+/// −0.15% with no optimizations).
+pub fn mum() -> Kernel {
+    let mut b = KernelBuilder::new("MUM/mummergpuKernel")
+        .threads_per_block(256)
+        .regs_per_thread(28)
+        .smem_per_block(0)
+        .grid_blocks(GRID)
+        .reg_window(0, 2);
+    // Phase 1: suffix-tree walk — scattered pointer chasing in two
+    // registers; non-owner warps issue many memory instructions here, which
+    // is exactly the traffic the Dyn throttle moderates.
+    let p1 = b.here();
+    b = b
+        .ld_global(GlobalPattern::Scatter { span_lines: 512, txns: 2 })
+        .ialu(5)
+        .ld_global(GlobalPattern::BlockTile { tile_lines: 16 })
+        .ialu(2)
+        .loop_back(p1, 12);
+    // Phase 2: match emission over the full register set.
+    b = b.reg_window(2, u16::MAX);
+    let p2 = b.here();
+    b = b.ialu(6).loop_back(p2, 3);
+    b = b.st_global(GlobalPattern::Stream);
+    let mut k = b.build();
+    scramble_decls(&mut k, 14, 4);
+    k
+}
+
+/// `mri-q` / `ComputeQ_GPU` (Parboil): 256 threads, 24 regs. Compute-heavy
+/// with an L1-resident coefficient tile sized right at the 5-block capacity
+/// edge (5 × 24 = 120 of 128 lines): the 6th shared block tips L1 into
+/// thrashing and the paper records a slight net slowdown (−0.72%).
+pub fn mri_q() -> Kernel {
+    let mut b = KernelBuilder::new("mri-q/ComputeQ_GPU")
+        .threads_per_block(256)
+        .regs_per_thread(24)
+        .smem_per_block(0)
+        .grid_blocks(GRID)
+        .reg_window(0, 2);
+    // Minimal setup phase: mri-q's trigonometric accumulation immediately
+    // spreads over the full register set, so non-owner warps stall at once.
+    b = b.ld_global(GlobalPattern::Stream).ialu(1);
+    b = b.reg_window(2, u16::MAX);
+    let p2 = b.here();
+    b = b
+        .ld_global(GlobalPattern::BlockTile { tile_lines: 25 })
+        .ffma(4)
+        .ialu_independent(6)
+        .loop_back(p2, 18);
+    b = b.st_global(GlobalPattern::Stream);
+    let mut k = b.build();
+    scramble_decls(&mut k, 11, 4);
+    k
+}
+
+/// `sgemm` / `mysgemmNT` (Parboil): 128 threads, 48 regs. Dense FMA tiles
+/// (the Fig. 7 example program): high arithmetic intensity, baseline close
+/// to saturation, so the 5 → 8 block bump yields a modest gain that needs
+/// OWF (paper: +4.06%).
+pub fn sgemm() -> Kernel {
+    let mut b = KernelBuilder::new("sgemm/mysgemmNT")
+        .threads_per_block(128)
+        .regs_per_thread(48)
+        .smem_per_block(2048)
+        .grid_blocks(GRID)
+        .reg_window(0, 4);
+    // Phase 1: A/B panel streaming through four address registers; two of
+    // them are displaced by the scramble and recovered by the reorder pass.
+    b = b.ld_global(GlobalPattern::BlockTile { tile_lines: 8 });
+    let p1 = b.here();
+    b = b.ffma(4).ld_global(GlobalPattern::BlockTile { tile_lines: 8 }).loop_back(p1, 8);
+    // Phase 2: the accumulator-rich rank-1 updates (the Fig. 7 code).
+    b = b.reg_window(2, u16::MAX);
+    let p2 = b.here();
+    b = b
+        .ffma(6)
+        .ialu_independent(10)
+        .ld_global(GlobalPattern::BlockTile { tile_lines: 8 })
+        .ialu(1)
+        .loop_back(p2, 12);
+    b = b.st_global(GlobalPattern::Stream);
+    let mut k = b.build();
+    scramble_decls(&mut k, 31, 2);
+    k
+}
+
+/// `stencil` / `block2D_hybrid_coarsen_x` (Parboil): 512 threads, 28 regs.
+/// 2.5-D stencil sweep: one streamed load per iteration feeding an SFU/FMA
+/// chain, barrier-synchronized planes. Only 2 → 3 blocks, but each block is
+/// huge so the 50% residency gain pays off (paper: +23.45%).
+pub fn stencil() -> Kernel {
+    let mut b = KernelBuilder::new("stencil/block2D_hybrid_coarsen_x")
+        .threads_per_block(512)
+        .regs_per_thread(28)
+        .smem_per_block(0)
+        .grid_blocks(GRID)
+        .reg_window(0, 2);
+    // Phase 1: the plane sweep runs in the low registers.
+    let outer = b.here();
+    let inner = b.here();
+    b = b.ld_global(GlobalPattern::Stream).sfu(1).ffma(3).ialu_independent(4).loop_back(inner, 3);
+    b = b.barrier().st_global(GlobalPattern::Stream).loop_back(outer, 3);
+    // Phase 2: boundary handling over the full register set.
+    b = b.reg_window(2, u16::MAX);
+    let p2 = b.here();
+    b = b.ffma(5).loop_back(p2, 8);
+    b = b.st_global(GlobalPattern::Stream);
+    let mut k = b.build();
+    scramble_decls(&mut k, 15, 4);
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_core::{occupancy, GpuConfig, KernelFootprint};
+    use grs_isa::validate;
+
+    fn all() -> Vec<Kernel> {
+        vec![backprop(), btree(), hotspot(), lib(), mum(), mri_q(), sgemm(), stencil()]
+    }
+
+    #[test]
+    fn all_validate() {
+        for k in all() {
+            validate(&k).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    /// Table II footprints, verbatim.
+    #[test]
+    fn footprints_match_table_ii() {
+        let expect = [
+            ("backprop", 256, 24),
+            ("b+tree", 508, 24),
+            ("hotspot", 256, 36),
+            ("LIB", 192, 36),
+            ("MUM", 256, 28),
+            ("mri-q", 256, 24),
+            ("sgemm", 128, 48),
+            ("stencil", 512, 28),
+        ];
+        for (k, (name, threads, regs)) in all().iter().zip(expect) {
+            assert!(k.name.starts_with(name), "{} vs {name}", k.name);
+            assert_eq!(k.threads_per_block, threads, "{name}");
+            assert_eq!(k.regs_per_thread, regs, "{name}");
+        }
+    }
+
+    /// Paper Fig. 1(a): baseline resident blocks for Set-1.
+    #[test]
+    fn baseline_blocks_match_fig1a() {
+        let sm = GpuConfig::paper_baseline().sm;
+        let expect = [5, 2, 3, 4, 4, 5, 5, 2];
+        for (k, blocks) in all().iter().zip(expect) {
+            let occ = occupancy(&sm, &KernelFootprint::of(k));
+            assert_eq!(occ.blocks, blocks, "{}", k.name);
+        }
+    }
+
+    /// Every Set-1 kernel must actually be register-limited.
+    #[test]
+    fn register_limited() {
+        let sm = GpuConfig::paper_baseline().sm;
+        for k in all() {
+            let occ = occupancy(&sm, &KernelFootprint::of(&k));
+            assert_eq!(
+                occ.blocks, occ.reg_limit,
+                "{} should be register-limited (occ {occ:?})",
+                k.name
+            );
+        }
+    }
+
+    #[test]
+    fn programs_have_realistic_dynamic_lengths() {
+        for k in all() {
+            let dynlen = k.dynamic_instrs_per_warp();
+            assert!(
+                (50..20_000).contains(&dynlen),
+                "{}: dynamic length {dynlen} out of range",
+                k.name
+            );
+        }
+    }
+
+    /// The declaration scramble makes the unroll/reorder pass meaningful:
+    /// it must change the declaration order of every Set-1 kernel.
+    #[test]
+    fn scramble_gives_reorder_pass_work() {
+        for mut k in all() {
+            let report = grs_core::reorder_declarations(&mut k);
+            assert!(report.changed, "{}", k.name);
+        }
+    }
+}

@@ -1,0 +1,136 @@
+//! Set-3: benchmarks limited by **max threads or max blocks** rather than by
+//! registers or scratchpad (paper Table IV).
+//!
+//! For these kernels the launch plan degenerates (no shared pairs), so every
+//! sharing configuration must behave exactly like its unshared counterpart —
+//! the equivalences the paper demonstrates in Fig. 12 and that our
+//! integration tests assert bit-for-bit.
+
+use grs_isa::{GlobalPattern, Kernel, KernelBuilder};
+
+/// Default grid size for Set-3 models.
+pub const GRID: u32 = 672;
+
+/// `backprop` / `bpnn_layerforward_CUDA` (Rodinia): thread-limited
+/// (256 threads × 6 blocks = 1536). Light per-thread state, scratchpad
+/// reduction with barriers.
+pub fn backprop_layerforward() -> Kernel {
+    let mut b = KernelBuilder::new("backprop/bpnn_layerforward_CUDA")
+        .threads_per_block(256)
+        .regs_per_thread(12)
+        .smem_per_block(1088)
+        .grid_blocks(GRID);
+    let top = b.here();
+    b = b
+        .ld_global(GlobalPattern::Stream)
+        .st_shared(0, 256)
+        .barrier()
+        .ld_shared(0, 256)
+        .ffma(3)
+        .loop_back(top, 20);
+    b = b.st_global(GlobalPattern::Stream);
+    b.build()
+}
+
+/// `BFS` / `Kernel` (GPGPU-Sim suite): thread-limited frontier expansion,
+/// scatter-heavy and memory-bound.
+pub fn bfs() -> Kernel {
+    let mut b = KernelBuilder::new("BFS/Kernel")
+        .threads_per_block(512)
+        .regs_per_thread(10)
+        .smem_per_block(0)
+        .grid_blocks(GRID / 2);
+    let top = b.here();
+    b = b
+        .ld_global(GlobalPattern::Scatter { span_lines: 1024, txns: 2 })
+        .ialu(4)
+        .st_global(GlobalPattern::Scatter { span_lines: 1024, txns: 1 })
+        .loop_back(top, 16);
+    b.build()
+}
+
+/// `gaussian` / `FAN2` (Rodinia): block-limited elimination step (small
+/// blocks, 8-block cap binds first).
+pub fn gaussian() -> Kernel {
+    let mut b = KernelBuilder::new("gaussian/FAN2")
+        .threads_per_block(64)
+        .regs_per_thread(10)
+        .smem_per_block(0)
+        .grid_blocks(GRID);
+    let top = b.here();
+    b = b
+        .ld_global(GlobalPattern::Stream)
+        .fadd(2)
+        .ffma(2)
+        .st_global(GlobalPattern::Stream)
+        .loop_back(top, 20);
+    b.build()
+}
+
+/// `NN` / `executeSecondLayer` (GPGPU-Sim suite): block-limited neural-net
+/// layer with an L1-friendly weight tile.
+pub fn nn() -> Kernel {
+    let mut b = KernelBuilder::new("NN/executeSecondLayer")
+        .threads_per_block(96)
+        .regs_per_thread(12)
+        .smem_per_block(0)
+        .grid_blocks(GRID);
+    let top = b.here();
+    b = b
+        .ld_global(GlobalPattern::KernelTile { tile_lines: 24 })
+        .ffma(4)
+        .loop_back(top, 24);
+    b = b.st_global(GlobalPattern::Stream);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_core::occupancy::LimitingFactor;
+    use grs_core::{
+        compute_launch_plan, occupancy, GpuConfig, KernelFootprint, ResourceKind, Threshold,
+    };
+    use grs_isa::validate;
+
+    fn all() -> Vec<Kernel> {
+        vec![backprop_layerforward(), bfs(), gaussian(), nn()]
+    }
+
+    #[test]
+    fn all_validate() {
+        for k in all() {
+            validate(&k).unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    /// Table IV: each kernel's binding constraint.
+    #[test]
+    fn limiting_factors_match_table_iv() {
+        let sm = GpuConfig::paper_baseline().sm;
+        let expect = [
+            LimitingFactor::Threads,
+            LimitingFactor::Threads,
+            LimitingFactor::Blocks,
+            LimitingFactor::Blocks,
+        ];
+        for (k, lim) in all().iter().zip(expect) {
+            let occ = occupancy(&sm, &KernelFootprint::of(k));
+            assert_eq!(occ.limiting, lim, "{}", k.name);
+        }
+    }
+
+    /// Paper Sec. VI-B2: sharing launches no extra blocks for Set-3.
+    #[test]
+    fn sharing_plans_degenerate() {
+        let sm = GpuConfig::paper_baseline().sm;
+        for k in all() {
+            for res in [ResourceKind::Registers, ResourceKind::Scratchpad] {
+                let plan =
+                    compute_launch_plan(&sm, &KernelFootprint::of(&k), Threshold::paper_default(), res);
+                assert!(plan.is_degenerate(), "{} {res}: {plan:?}", k.name);
+                assert_eq!(plan.max_blocks, plan.baseline_blocks, "{}", k.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Explore how footprints drive occupancy, waste, and sharing plans — a
+//! CUDA-occupancy-calculator-style table extended with the paper's launch
+//! plan (Sec. III-C).
+//!
+//! Run with: `cargo run --release --example occupancy_explorer`
+
+use gpu_resource_sharing::prelude::*;
+
+fn main() {
+    let sm = GpuConfig::paper_baseline().sm;
+    let t = Threshold::paper_default();
+    println!(
+        "{:>8} {:>6} {:>8} | {:>6} {:>8} | {:>9} {:>7}",
+        "threads", "regs", "smem", "blocks", "waste%", "shared(M)", "pairs"
+    );
+    for threads in [64u32, 128, 256, 512] {
+        for regs in [16u32, 24, 36, 48] {
+            let fp = KernelFootprint { threads_per_block: threads, regs_per_thread: regs, smem_per_block: 0 };
+            let occ = occupancy(&sm, &fp);
+            let plan = compute_launch_plan(&sm, &fp, t, ResourceKind::Registers);
+            println!(
+                "{:>8} {:>6} {:>8} | {:>6} {:>7.1}% | {:>9} {:>7}",
+                threads,
+                regs,
+                0,
+                occ.blocks,
+                occ.register_waste_pct(&sm),
+                plan.max_blocks,
+                plan.shared_pairs
+            );
+        }
+    }
+    println!("\nScratchpad-limited kernels (128 threads, 16 regs):");
+    for smem in [2560u32, 4096, 5184, 6144, 7200] {
+        let fp = KernelFootprint { threads_per_block: 128, regs_per_thread: 16, smem_per_block: smem };
+        let occ = occupancy(&sm, &fp);
+        let plan = compute_launch_plan(&sm, &fp, t, ResourceKind::Scratchpad);
+        println!(
+            "  smem {:>5} B: {} blocks ({:.1}% waste) -> {} with sharing",
+            smem,
+            occ.blocks,
+            occ.scratchpad_waste_pct(&sm),
+            plan.max_blocks
+        );
+    }
+}

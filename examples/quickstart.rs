@@ -1,0 +1,35 @@
+//! Quickstart: occupancy, launch plans, and a baseline-vs-sharing simulation
+//! of the paper's motivating kernel (hotspot).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use gpu_resource_sharing::prelude::*;
+
+fn main() {
+    let cfg = GpuConfig::paper_baseline();
+
+    // hotspot (Rodinia): 36 registers/thread x 256 threads = 9216 registers
+    // per block -> only 3 blocks fit in a 32768-register SM and 5120
+    // registers are wasted (paper Sec. I-A).
+    let mut kernel = workloads::set1::hotspot();
+    kernel.grid_blocks = 168; // keep the demo quick
+
+    let fp = KernelFootprint::of(&kernel);
+    let occ = occupancy(&cfg.sm, &fp);
+    println!("baseline occupancy : {} blocks (limited by {})", occ.blocks, occ.limiting);
+    println!("wasted registers   : {} ({:.1}%)", occ.wasted_registers, occ.register_waste_pct(&cfg.sm));
+
+    // Register sharing at the paper's default threshold t = 0.1 (90%).
+    let plan = compute_launch_plan(&cfg.sm, &fp, Threshold::paper_default(), ResourceKind::Registers);
+    println!(
+        "sharing launch plan: {} unshared + {} pairs = {} resident blocks",
+        plan.unshared, plan.shared_pairs, plan.max_blocks
+    );
+
+    // Simulate both configurations and compare IPC.
+    let base = Simulator::new(RunConfig::baseline_lrr()).run(&kernel);
+    let shared = Simulator::new(RunConfig::paper_register_sharing()).run(&kernel);
+    println!("Unshared-LRR          : IPC {:.1}", base.ipc());
+    println!("Shared-OWF-Unroll-Dyn : IPC {:.1}", shared.ipc());
+    println!("improvement           : {:+.2}%", shared.ipc_improvement_pct(&base));
+}

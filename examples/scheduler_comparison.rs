@@ -1,0 +1,42 @@
+//! Compare the four warp schedulers (LRR, GTO, Two-Level, OWF) on one
+//! memory-bound and one compute-bound kernel, without sharing.
+//!
+//! Run with: `cargo run --release --example scheduler_comparison`
+
+use gpu_resource_sharing::prelude::*;
+use gpu_resource_sharing::core::SchedulerKind;
+
+fn main() {
+    let kernels = [
+        ("hotspot (compute-bound)", {
+            let mut k = workloads::set1::hotspot();
+            k.grid_blocks = 168;
+            k
+        }),
+        ("MUM (memory-bound)", {
+            let mut k = workloads::set1::mum();
+            k.grid_blocks = 168;
+            k
+        }),
+    ];
+    let scheds = [
+        SchedulerKind::Lrr,
+        SchedulerKind::Gto,
+        SchedulerKind::TwoLevel { group_size: 8 },
+        SchedulerKind::Owf,
+    ];
+    for (name, kernel) in &kernels {
+        println!("\n{name}");
+        for s in scheds {
+            let stats = Simulator::new(RunConfig::baseline_lrr().with_scheduler(s)).run(kernel);
+            println!(
+                "  {:<4} IPC {:>7.1}  cycles {:>8}  stall {:>8}  idle {:>9}",
+                s.name(),
+                stats.ipc(),
+                stats.cycles,
+                stats.stall_cycles,
+                stats.idle_cycles
+            );
+        }
+    }
+}

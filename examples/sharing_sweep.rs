@@ -1,0 +1,33 @@
+//! Sweep the sharing threshold for one kernel — a miniature of paper
+//! Tables V-VIII: IPC and resident blocks at 0..90% sharing.
+//!
+//! Run with: `cargo run --release --example sharing_sweep [benchmark]`
+
+use gpu_resource_sharing::prelude::*;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "lavamd".to_string());
+    let Some(mut kernel) = workloads::benchmark(&name) else {
+        eprintln!("unknown benchmark {name}; try hotspot, lavamd, sgemm, conv1 ...");
+        std::process::exit(2);
+    };
+    kernel.grid_blocks = kernel.grid_blocks.min(168);
+    let base_cfg = if kernel.smem_per_block > 2048 {
+        RunConfig::paper_scratchpad_sharing()
+    } else {
+        RunConfig::paper_register_sharing()
+    };
+    let resource = match base_cfg.sharing {
+        SharingMode::Scratchpad => ResourceKind::Scratchpad,
+        _ => ResourceKind::Registers,
+    };
+    println!("{name}: sharing sweep ({resource})");
+    println!("{:>8} {:>8} {:>8} {:>8}", "sharing%", "t", "blocks", "IPC");
+    for pct in [0.0, 10.0, 30.0, 50.0, 70.0, 90.0] {
+        let t = Threshold::from_sharing_pct(pct).unwrap();
+        let cfg = base_cfg.clone().with_threshold(t);
+        let plan = Simulator::new(cfg.clone()).plan_for(&kernel);
+        let stats = Simulator::new(cfg).run(&kernel);
+        println!("{:>7.0}% {:>8.2} {:>8} {:>8.1}", pct, t.t(), plan.max_blocks, stats.ipc());
+    }
+}

@@ -1,0 +1,46 @@
+//! # gpu-resource-sharing
+//!
+//! Umbrella crate for the reproduction of *Improving GPU Performance Through
+//! Resource Sharing* (Jatala, Anantpur, Karkare; HPDC'16). It re-exports the
+//! workspace crates under stable module names and hosts the runnable
+//! examples and cross-crate integration tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gpu_resource_sharing::prelude::*;
+//!
+//! // The paper's Table I machine.
+//! let cfg = GpuConfig::paper_baseline();
+//!
+//! // A register-hungry kernel: 36 regs/thread × 256 threads = 9216 regs per
+//! // block, so only 3 blocks fit in a 32768-register SM (paper's hotspot).
+//! let kernel = grs_workloads::set1::hotspot();
+//! let occ = occupancy(&cfg.sm, &KernelFootprint::of(&kernel));
+//! assert_eq!(occ.blocks, 3);
+//!
+//! // Register sharing at t = 0.1 (90% sharing) lifts residency to 6 blocks.
+//! let plan = compute_launch_plan(
+//!     &cfg.sm,
+//!     &KernelFootprint::of(&kernel),
+//!     Threshold::new(0.1).unwrap(),
+//!     ResourceKind::Registers,
+//! );
+//! assert_eq!(plan.max_blocks, 6);
+//! ```
+
+pub use grs_core as core;
+pub use grs_isa as isa;
+pub use grs_sim as sim;
+pub use grs_workloads as workloads;
+
+/// Commonly-used items from every layer of the stack.
+pub mod prelude {
+    pub use grs_core::{
+        compute_launch_plan, occupancy, reorder_declarations, GpuConfig, KernelFootprint,
+        LaunchPlan, Occupancy, ResourceKind, SchedulerKind, Threshold,
+    };
+    pub use grs_isa::{GlobalPattern, Kernel, KernelBuilder, Program};
+    pub use grs_sim::{RunConfig, SharingMode, SimStats, Simulator};
+    pub use grs_workloads as workloads;
+}

@@ -1,0 +1,80 @@
+//! Exact-match checks against numbers printed in the paper (arithmetic
+//! artifacts, not simulator-derived): Sec. I-A worked examples, Tables VI
+//! and VIII, and the Sec. V hardware cost formulas.
+
+use gpu_resource_sharing::core::hw_cost::{register_sharing_bits, scratchpad_sharing_bits};
+use gpu_resource_sharing::prelude::*;
+
+#[test]
+fn section_1a_hotspot_and_lavamd_waste() {
+    let sm = GpuConfig::paper_baseline().sm;
+    let hotspot = KernelFootprint::of(&workloads::set1::hotspot());
+    let occ = occupancy(&sm, &hotspot);
+    assert_eq!(occ.blocks, 3);
+    assert_eq!(occ.wasted_registers, 5120);
+
+    let lavamd = KernelFootprint::of(&workloads::set2::lavamd());
+    let occ = occupancy(&sm, &lavamd);
+    assert_eq!(occ.blocks, 2);
+    assert_eq!(occ.wasted_scratchpad, 1984);
+}
+
+#[test]
+fn table_vi_all_thirty_points() {
+    let sm = GpuConfig::paper_baseline().sm;
+    let expect: &[(usize, [u32; 6])] = &[
+        (0, [5, 5, 5, 5, 6, 6]),
+        (1, [2, 2, 2, 3, 3, 3]),
+        (2, [3, 3, 3, 4, 4, 6]),
+        (3, [4, 4, 5, 5, 6, 8]),
+        (4, [4, 4, 4, 5, 5, 6]),
+        (5, [5, 5, 5, 5, 6, 6]),
+        (6, [5, 5, 5, 5, 6, 8]),
+        (7, [2, 2, 2, 2, 2, 3]),
+    ];
+    let kernels = workloads::set1_benchmarks();
+    for &(i, row) in expect {
+        for (pct, want) in [0.0, 10.0, 30.0, 50.0, 70.0, 90.0].iter().zip(row) {
+            let plan = compute_launch_plan(
+                &sm,
+                &KernelFootprint::of(&kernels[i]),
+                Threshold::from_sharing_pct(*pct).unwrap(),
+                ResourceKind::Registers,
+            );
+            assert_eq!(plan.max_blocks, want, "{} at {pct}%", kernels[i].name);
+        }
+    }
+}
+
+#[test]
+fn table_viii_all_thirty_points() {
+    let sm = GpuConfig::paper_baseline().sm;
+    let expect: &[(usize, [u32; 6])] = &[
+        (0, [6, 6, 6, 6, 7, 8]),
+        (1, [3, 3, 3, 3, 3, 4]),
+        (2, [2, 2, 2, 2, 2, 4]),
+        (3, [7, 7, 7, 8, 8, 8]),
+        (4, [7, 7, 7, 8, 8, 8]),
+        (5, [2, 2, 2, 3, 4, 4]),
+        (6, [3, 3, 3, 3, 3, 5]),
+    ];
+    let kernels = workloads::set2_benchmarks();
+    for &(i, row) in expect {
+        for (pct, want) in [0.0, 10.0, 30.0, 50.0, 70.0, 90.0].iter().zip(row) {
+            let plan = compute_launch_plan(
+                &sm,
+                &KernelFootprint::of(&kernels[i]),
+                Threshold::from_sharing_pct(*pct).unwrap(),
+                ResourceKind::Scratchpad,
+            );
+            assert_eq!(plan.max_blocks, want, "{} at {pct}%", kernels[i].name);
+        }
+    }
+}
+
+#[test]
+fn section_v_storage_formulas() {
+    // Table I machine: T = 8, W = 48, N = 14.
+    assert_eq!(register_sharing_bits(8, 48, 14), 273 * 14);
+    assert_eq!(scratchpad_sharing_bits(8, 48, 14), 93 * 14);
+}

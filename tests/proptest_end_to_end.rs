@@ -1,0 +1,138 @@
+//! Property tests over randomly generated kernels: the simulator must
+//! complete them deterministically, retire exactly the grid's dynamic
+//! instruction count, and never deadlock under any sharing configuration.
+
+use gpu_resource_sharing::prelude::*;
+use gpu_resource_sharing::isa::GlobalPattern as GP;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct KernelSpec {
+    threads_log2: u32, // 32..512 threads
+    regs: u32,
+    smem: u32,
+    grid: u32,
+    alu: u32,
+    mem_kind: u8,
+    trips: u16,
+    barrier: bool,
+    smem_bytes_touched: u32,
+}
+
+fn spec() -> impl Strategy<Value = KernelSpec> {
+    (
+        1u32..=4,       // threads = 32 << n
+        4u32..=48,      // regs/thread
+        0u32..=6000,    // smem/block
+        1u32..=40,      // grid blocks
+        1u32..=8,       // alu per iteration
+        0u8..=3,        // memory pattern
+        0u16..=12,      // loop trips
+        proptest::bool::ANY,
+        0u32..=512,
+    )
+        .prop_map(
+            |(tl, regs, smem, grid, alu, mem_kind, trips, barrier, touched)| KernelSpec {
+                threads_log2: tl,
+                regs,
+                smem,
+                grid,
+                alu,
+                mem_kind,
+                trips,
+                barrier,
+                smem_bytes_touched: touched,
+            },
+        )
+}
+
+fn build(s: &KernelSpec) -> gpu_resource_sharing::isa::Kernel {
+    let mut b = KernelBuilder::new("prop")
+        .threads_per_block(32 << s.threads_log2)
+        .regs_per_thread(s.regs)
+        .smem_per_block(s.smem)
+        .grid_blocks(s.grid);
+    let top = b.here();
+    b = match s.mem_kind {
+        0 => b.ld_global(GP::Stream),
+        1 => b.ld_global(GP::BlockTile { tile_lines: 16 }),
+        2 => b.ld_global(GP::Scatter { span_lines: 64, txns: 2 }),
+        _ => b.ld_global(GP::KernelTile { tile_lines: 16 }),
+    };
+    b = b.ialu(s.alu).ffma(2);
+    if s.smem > 64 {
+        let bytes = s.smem_bytes_touched.min(s.smem / 2).max(4);
+        b = b.st_shared(0, bytes).ld_shared(s.smem / 2, bytes.min(s.smem - s.smem / 2));
+    }
+    if s.barrier {
+        b = b.barrier();
+    }
+    b = b.loop_back(top, s.trips).st_global(GP::Stream);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_kernels_complete_and_count_instructions(s in spec()) {
+        let k = build(&s);
+        prop_assert!(gpu_resource_sharing::isa::validate(&k).is_ok());
+        let mut cfg = RunConfig::baseline_lrr();
+        cfg.gpu.num_sms = 2;
+        cfg.max_cycles = 5_000_000;
+        let stats = Simulator::new(cfg).run(&k);
+        prop_assert!(!stats.timed_out);
+        prop_assert_eq!(stats.blocks_completed, u64::from(k.grid_blocks));
+        let expected = k.dynamic_instrs_per_warp()
+            * u64::from(k.warps_per_block())
+            * u64::from(k.grid_blocks);
+        prop_assert_eq!(stats.warp_instrs, expected);
+    }
+
+    #[test]
+    fn random_kernels_never_deadlock_under_sharing(s in spec()) {
+        let k = build(&s);
+        for base in [RunConfig::paper_register_sharing(), RunConfig::paper_scratchpad_sharing()] {
+            let mut cfg = base;
+            cfg.gpu.num_sms = 2;
+            cfg.max_cycles = 5_000_000;
+            match Simulator::new(cfg).try_run(&k) {
+                Ok(stats) => {
+                    prop_assert!(!stats.timed_out, "deadlock/livelock: {s:?}");
+                    prop_assert_eq!(stats.blocks_completed, u64::from(k.grid_blocks));
+                }
+                Err(e) => {
+                    // Only legitimate rejection: the kernel does not fit.
+                    prop_assert!(matches!(e, gpu_resource_sharing::sim::run::RunError::KernelDoesNotFit));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn launch_plan_invariants(regs in 1u32..=63, threads in 1u32..=1024, smem in 0u32..=16384, t in 0.01f64..=1.0) {
+        let sm = GpuConfig::paper_baseline().sm;
+        let fp = KernelFootprint { threads_per_block: threads, regs_per_thread: regs, smem_per_block: smem };
+        let threshold = Threshold::new(t).unwrap();
+        for res in [ResourceKind::Registers, ResourceKind::Scratchpad] {
+            let plan = compute_launch_plan(&sm, &fp, threshold, res);
+            // eq. (3): M = U + 2S
+            prop_assert_eq!(plan.max_blocks, plan.unshared + 2 * plan.shared_pairs);
+            // effective blocks never below baseline (paper Sec. III-C goal)
+            prop_assert!(plan.effective_blocks() >= plan.baseline_blocks);
+            // eq. (2): capacity bound
+            let rtb = f64::from(fp.per_block(res));
+            let cap = match res {
+                ResourceKind::Registers => f64::from(sm.registers),
+                ResourceKind::Scratchpad => f64::from(sm.scratchpad_bytes),
+            };
+            let used = f64::from(plan.unshared) * rtb
+                + f64::from(plan.shared_pairs) * (1.0 + threshold.t()) * rtb;
+            prop_assert!(used <= cap + 1e-6, "plan {plan:?} uses {used} of {cap}");
+            // Sec. II clamps
+            prop_assert!(plan.max_blocks <= sm.max_blocks);
+            prop_assert!(plan.max_blocks * threads <= sm.max_threads || plan.max_blocks <= 1);
+        }
+    }
+}
