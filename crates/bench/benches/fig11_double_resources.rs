@@ -12,7 +12,8 @@ fn bench(c: &mut Criterion) {
     shrink_grid(&mut k, 12);
     let mut g = c.benchmark_group("fig11");
     g.sample_size(10);
-    let doubled = Simulator::new(RunConfig::baseline_lrr().with_gpu(GpuConfig::doubled_registers()));
+    let doubled =
+        Simulator::new(RunConfig::baseline_lrr().with_gpu(GpuConfig::doubled_registers()));
     g.bench_function("lib/unshared-lrr-64k-regs", |b| b.iter(|| doubled.run(&k)));
     let shared = Simulator::new(RunConfig::paper_register_sharing());
     g.bench_function("lib/shared-owf-32k-regs", |b| b.iter(|| shared.run(&k)));

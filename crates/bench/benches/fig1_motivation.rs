@@ -13,7 +13,9 @@ fn bench(c: &mut Criterion) {
         .collect();
     c.bench_function("occupancy/all-19-benchmarks", |b| {
         b.iter(|| {
-            fps.iter().map(|fp| occupancy(&sm, std::hint::black_box(fp)).blocks).sum::<u32>()
+            fps.iter()
+                .map(|fp| occupancy(&sm, std::hint::black_box(fp)).blocks)
+                .sum::<u32>()
         })
     });
 }

@@ -16,7 +16,9 @@ fn bench(c: &mut Criterion) {
         let cfg = RunConfig::paper_register_sharing()
             .with_threshold(Threshold::from_sharing_pct(pct).unwrap());
         let sim = Simulator::new(cfg);
-        g.bench_function(format!("hotspot/sharing-{pct}pct"), |b| b.iter(|| sim.run(&k)));
+        g.bench_function(format!("hotspot/sharing-{pct}pct"), |b| {
+            b.iter(|| sim.run(&k))
+        });
     }
     g.finish();
 }

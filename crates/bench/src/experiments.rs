@@ -38,10 +38,19 @@ pub fn print_config() {
     println!("Max thread blocks / SM          : {}", c.sm.max_blocks);
     println!("Max threads / SM                : {}", c.sm.max_threads);
     println!("Registers / SM                  : {}", c.sm.registers);
-    println!("Scratchpad / SM                 : {} KB", c.sm.scratchpad_bytes / 1024);
+    println!(
+        "Scratchpad / SM                 : {} KB",
+        c.sm.scratchpad_bytes / 1024
+    );
     println!("Warp schedulers / SM            : {}", c.sm.schedulers);
-    println!("L1 cache / SM                   : {} KB", c.mem.l1_bytes / 1024);
-    println!("L2 cache (shared)               : {} KB", c.mem.l2_bytes / 1024);
+    println!(
+        "L1 cache / SM                   : {} KB",
+        c.mem.l1_bytes / 1024
+    );
+    println!(
+        "L2 cache (shared)               : {} KB",
+        c.mem.l2_bytes / 1024
+    );
     println!(
         "Latencies (ialu/imul/fp/sfu/spm): {}/{}/{}/{}/{}",
         c.lat.ialu, c.lat.imul, c.lat.fp, c.lat.sfu, c.lat.scratchpad
@@ -59,7 +68,10 @@ pub fn print_config() {
 /// Tables II, III, IV.
 pub fn print_suites() {
     header("Tables II-IV: benchmark footprints");
-    println!("{:<12} {:>8} {:>6} {:>10} {:>8}", "benchmark", "threads", "regs", "smem(B)", "grid");
+    println!(
+        "{:<12} {:>8} {:>6} {:>10} {:>8}",
+        "benchmark", "threads", "regs", "smem(B)", "grid"
+    );
     for (names, ks) in [
         (&SET1_NAMES[..], set1_benchmarks()),
         (&SET2_NAMES[..], set2_benchmarks()),
@@ -99,13 +111,23 @@ pub fn fig1() {
     println!("{:<12} {:>7} {:>12}", "benchmark", "blocks", "reg waste %");
     for (n, k) in SET1_NAMES.iter().zip(set1_benchmarks()) {
         let occ = occupancy(&sm, &KernelFootprint::of(&k));
-        println!("{:<12} {:>7} {:>11.1}%", n, occ.blocks, occ.register_waste_pct(&sm));
+        println!(
+            "{:<12} {:>7} {:>11.1}%",
+            n,
+            occ.blocks,
+            occ.register_waste_pct(&sm)
+        );
     }
     header("Fig 1(c,d): Set-2 resident blocks and scratchpad waste");
     println!("{:<12} {:>7} {:>12}", "benchmark", "blocks", "spm waste %");
     for (n, k) in SET2_NAMES.iter().zip(set2_benchmarks()) {
         let occ = occupancy(&sm, &KernelFootprint::of(&k));
-        println!("{:<12} {:>7} {:>11.1}%", n, occ.blocks, occ.scratchpad_waste_pct(&sm));
+        println!(
+            "{:<12} {:>7} {:>11.1}%",
+            n,
+            occ.blocks,
+            occ.scratchpad_waste_pct(&sm)
+        );
     }
 }
 
@@ -145,11 +167,19 @@ pub fn fig8(quick: bool) {
     let mut jobs = Vec::new();
     for k in &s1 {
         jobs.push(Job::new("base", RunConfig::baseline_lrr(), k.clone()));
-        jobs.push(Job::new("shared", RunConfig::paper_register_sharing(), k.clone()));
+        jobs.push(Job::new(
+            "shared",
+            RunConfig::paper_register_sharing(),
+            k.clone(),
+        ));
     }
     for k in &s2 {
         jobs.push(Job::new("base", RunConfig::baseline_lrr(), k.clone()));
-        jobs.push(Job::new("shared", RunConfig::paper_scratchpad_sharing(), k.clone()));
+        jobs.push(Job::new(
+            "shared",
+            RunConfig::paper_scratchpad_sharing(),
+            k.clone(),
+        ));
     }
     let out = run_all(jobs);
     let (reg, smem) = out.split_at(2 * s1.len());
@@ -169,7 +199,9 @@ pub fn fig8(quick: bool) {
     );
 }
 
-fn split_pairs(out: &[(String, SimStats)]) -> (Vec<(String, SimStats)>, Vec<(String, SimStats)>) {
+type Labelled = (String, SimStats);
+
+fn split_pairs(out: &[Labelled]) -> (Vec<Labelled>, Vec<Labelled>) {
     let mut base = Vec::new();
     let mut shared = Vec::new();
     for pair in out.chunks(2) {
@@ -261,7 +293,10 @@ pub fn fig9(quick: bool) {
     }
     let out = run_all(jobs);
     header("Fig 9(b): scratchpad-sharing ablation (% IPC vs Unshared-LRR)");
-    println!("{:<12} {:>18} {:>12}", "benchmark", "Shared-LRR-NoOpt", "Shared-OWF");
+    println!(
+        "{:<12} {:>18} {:>12}",
+        "benchmark", "Shared-LRR-NoOpt", "Shared-OWF"
+    );
     for (i, n) in SET2_NAMES.iter().enumerate() {
         let row = &out[i * smem_cfgs.len()..(i + 1) * smem_cfgs.len()];
         let base = &row[0].1;
@@ -295,30 +330,59 @@ pub fn fig10(quick: bool) {
     quick_prep(&mut s2, quick);
 
     for (title, baseline) in [
-        ("Fig 10(a,b): sharing vs GTO baseline", RunConfig::baseline_gto()),
-        ("Fig 10(c,d): sharing vs Two-Level baseline", RunConfig::baseline_two_level()),
+        (
+            "Fig 10(a,b): sharing vs GTO baseline",
+            RunConfig::baseline_gto(),
+        ),
+        (
+            "Fig 10(c,d): sharing vs Two-Level baseline",
+            RunConfig::baseline_two_level(),
+        ),
     ] {
         let mut jobs = Vec::new();
         for k in &s1 {
             jobs.push(Job::new("base", baseline.clone(), k.clone()));
-            jobs.push(Job::new("shared", RunConfig::paper_register_sharing(), k.clone()));
+            jobs.push(Job::new(
+                "shared",
+                RunConfig::paper_register_sharing(),
+                k.clone(),
+            ));
         }
         for k in &s2 {
             jobs.push(Job::new("base", baseline.clone(), k.clone()));
-            jobs.push(Job::new("shared", RunConfig::paper_scratchpad_sharing(), k.clone()));
+            jobs.push(Job::new(
+                "shared",
+                RunConfig::paper_scratchpad_sharing(),
+                k.clone(),
+            ));
         }
         let out = run_all(jobs);
         let (reg, smem) = out.split_at(2 * s1.len());
         let (rb, rs) = split_pairs(reg);
         let (sb, ss) = split_pairs(smem);
         header(title);
-        println!("{:<12} {:>10} {:>10} {:>8}", "benchmark", "IPC base", "IPC shr", "dIPC%");
+        println!(
+            "{:<12} {:>10} {:>10} {:>8}",
+            "benchmark", "IPC base", "IPC shr", "dIPC%"
+        );
         for ((n, (_, b)), (_, s)) in SET1_NAMES.iter().zip(&rb).zip(&rs) {
-            println!("{:<12} {:>10.1} {:>10.1} {:>7.2}%", n, b.ipc(), s.ipc(), s.ipc_improvement_pct(b));
+            println!(
+                "{:<12} {:>10.1} {:>10.1} {:>7.2}%",
+                n,
+                b.ipc(),
+                s.ipc(),
+                s.ipc_improvement_pct(b)
+            );
         }
         println!("{}", "-".repeat(44));
         for ((n, (_, b)), (_, s)) in SET2_NAMES.iter().zip(&sb).zip(&ss) {
-            println!("{:<12} {:>10.1} {:>10.1} {:>7.2}%", n, b.ipc(), s.ipc(), s.ipc_improvement_pct(b));
+            println!(
+                "{:<12} {:>10.1} {:>10.1} {:>7.2}%",
+                n,
+                b.ipc(),
+                s.ipc(),
+                s.ipc_improvement_pct(b)
+            );
         }
     }
 }
@@ -358,7 +422,10 @@ pub fn fig11(quick: bool) {
     let out = run_all(jobs);
     let (reg, smem) = out.split_at(2 * s1.len());
     header("Fig 11(a): register sharing @32K vs unshared LRR @64K registers (absolute IPC)");
-    println!("{:<12} {:>12} {:>12} {:>8}", "benchmark", "IPC 64K-LRR", "IPC 32K-shr", "winner");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "benchmark", "IPC 64K-LRR", "IPC 32K-shr", "winner"
+    );
     for (n, pair) in SET1_NAMES.iter().zip(reg.chunks(2)) {
         let (b, s) = (&pair[0].1, &pair[1].1);
         println!(
@@ -366,11 +433,18 @@ pub fn fig11(quick: bool) {
             n,
             b.ipc(),
             s.ipc(),
-            if s.ipc() >= b.ipc() { "sharing" } else { "2x-reg" }
+            if s.ipc() >= b.ipc() {
+                "sharing"
+            } else {
+                "2x-reg"
+            }
         );
     }
     header("Fig 11(b): scratchpad sharing @16K vs unshared LRR @32K (absolute IPC)");
-    println!("{:<12} {:>12} {:>12} {:>8}", "benchmark", "IPC 32K-LRR", "IPC 16K-shr", "winner");
+    println!(
+        "{:<12} {:>12} {:>12} {:>8}",
+        "benchmark", "IPC 32K-LRR", "IPC 16K-shr", "winner"
+    );
     for (n, pair) in SET2_NAMES.iter().zip(smem.chunks(2)) {
         let (b, s) = (&pair[0].1, &pair[1].1);
         println!(
@@ -378,7 +452,11 @@ pub fn fig11(quick: bool) {
             n,
             b.ipc(),
             s.ipc(),
-            if s.ipc() >= b.ipc() { "sharing" } else { "2x-spm" }
+            if s.ipc() >= b.ipc() {
+                "sharing"
+            } else {
+                "2x-spm"
+            }
         );
     }
 }
@@ -389,8 +467,14 @@ pub fn fig12(quick: bool) {
     quick_prep(&mut s3, quick);
 
     for (title, sharing) in [
-        ("Fig 12(a): Set-3, register sharing (absolute IPC)", SharingMode::Registers),
-        ("Fig 12(b): Set-3, scratchpad sharing (absolute IPC)", SharingMode::Scratchpad),
+        (
+            "Fig 12(a): Set-3, register sharing (absolute IPC)",
+            SharingMode::Registers,
+        ),
+        (
+            "Fig 12(b): Set-3, scratchpad sharing (absolute IPC)",
+            SharingMode::Scratchpad,
+        ),
     ] {
         let share_base = match sharing {
             SharingMode::Registers => RunConfig::paper_register_sharing(),
@@ -398,9 +482,15 @@ pub fn fig12(quick: bool) {
         };
         let cfgs: Vec<(&str, RunConfig)> = vec![
             ("Unshared-LRR", RunConfig::baseline_lrr()),
-            ("Shared-LRR", share_base.clone().with_scheduler(SchedulerKind::Lrr)),
+            (
+                "Shared-LRR",
+                share_base.clone().with_scheduler(SchedulerKind::Lrr),
+            ),
             ("Unshared-GTO", RunConfig::baseline_gto()),
-            ("Shared-GTO", share_base.clone().with_scheduler(SchedulerKind::Gto)),
+            (
+                "Shared-GTO",
+                share_base.clone().with_scheduler(SchedulerKind::Gto),
+            ),
             ("Shared-OWF", share_base),
         ];
         let mut jobs = Vec::new();
@@ -456,29 +546,49 @@ pub fn inspect(name: &str, quick: bool) {
         ),
         (
             "Shared-OWF-NoOpt",
-            sharing.clone().with_reorder_decls(false).with_dyn_throttle(false),
+            sharing
+                .clone()
+                .with_reorder_decls(false)
+                .with_dyn_throttle(false),
         ),
         (
             "Shared-LRR-Unroll",
-            sharing.clone().with_scheduler(SchedulerKind::Lrr).with_dyn_throttle(false),
+            sharing
+                .clone()
+                .with_scheduler(SchedulerKind::Lrr)
+                .with_dyn_throttle(false),
         ),
         (
             "Shared-GTO-Unroll",
-            sharing.clone().with_scheduler(SchedulerKind::Gto).with_dyn_throttle(false),
+            sharing
+                .clone()
+                .with_scheduler(SchedulerKind::Gto)
+                .with_dyn_throttle(false),
         ),
-        (
-            "Shared-OWF-NoDyn",
-            sharing.clone().with_dyn_throttle(false),
-        ),
+        ("Shared-OWF-NoDyn", sharing.clone().with_dyn_throttle(false)),
         ("Shared-full", sharing),
     ];
-    let jobs: Vec<Job> =
-        cfgs.iter().map(|(l, c)| Job::new(*l, c.clone(), k.clone())).collect();
+    let jobs: Vec<Job> = cfgs
+        .iter()
+        .map(|(l, c)| Job::new(*l, c.clone(), k.clone()))
+        .collect();
     let out = run_all(jobs);
     header(&format!("inspect: {name} (grid {})", k.grid_blocks));
     println!(
         "{:<18} {:>8} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>10} {:>9} {:>9} {:>4}",
-        "config", "IPC", "cycles", "stall", "idle", "empty", "L1m%", "L2m%", "txns", "winstr", "lockrtry", "throttled", "TO"
+        "config",
+        "IPC",
+        "cycles",
+        "stall",
+        "idle",
+        "empty",
+        "L1m%",
+        "L2m%",
+        "txns",
+        "winstr",
+        "lockrtry",
+        "throttled",
+        "TO"
     );
     for (l, s) in &out {
         println!(
@@ -541,7 +651,9 @@ fn sweep_tables(
             // 0% sharing = the plain baseline with the same scheduler family:
             // the paper's row 0% is the t→1 degenerate plan (all unshared),
             // still scheduled by OWF (which then sorts by dynamic id).
-            let cfg = base.clone().with_threshold(Threshold::from_sharing_pct(pct.min(99.0)).unwrap());
+            let cfg = base
+                .clone()
+                .with_threshold(Threshold::from_sharing_pct(pct.min(99.0)).unwrap());
             jobs.push(Job::new(format!("{pct}%"), cfg, k.clone()));
         }
     }

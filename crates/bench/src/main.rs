@@ -25,7 +25,11 @@ use grs_bench::experiments;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
 
     let run = |name: &str| match name {
         "config" => experiments::print_config(),

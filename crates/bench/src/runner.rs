@@ -2,12 +2,14 @@
 //!
 //! Individual simulations are strictly serial (cycle-accurate state), but
 //! experiments sweep many independent (configuration, kernel) pairs; those
-//! fan out over a crossbeam scope with a simple shared work queue.
+//! fan out over a `std::thread::scope` with an atomic work-stealing cursor.
 
-use crossbeam::thread;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
 use grs_isa::Kernel;
 use grs_sim::{RunConfig, SimStats, Simulator};
-use parking_lot::Mutex;
 
 /// One simulation to run.
 #[derive(Debug, Clone)]
@@ -23,7 +25,11 @@ pub struct Job {
 impl Job {
     /// Convenience constructor.
     pub fn new(label: impl Into<String>, cfg: RunConfig, kernel: Kernel) -> Self {
-        Job { label: label.into(), cfg, kernel }
+        Job {
+            label: label.into(),
+            cfg,
+            kernel,
+        }
     }
 }
 
@@ -36,31 +42,40 @@ pub fn shrink_grid(kernel: &mut Kernel, divisor: u32) {
 /// job order.
 pub fn run_all(jobs: Vec<Job>) -> Vec<(String, SimStats)> {
     let n = jobs.len();
-    let queue = Mutex::new((0usize, jobs));
+    if n == 0 {
+        return Vec::new();
+    }
+    let cursor = AtomicUsize::new(0);
     let results: Vec<Mutex<Option<(String, SimStats)>>> =
         (0..n).map(|_| Mutex::new(None)).collect();
-    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let workers = thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
 
     thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|_| loop {
-                let (idx, job) = {
-                    let mut q = queue.lock();
-                    if q.0 >= q.1.len() {
-                        break;
-                    }
-                    let idx = q.0;
-                    q.0 += 1;
-                    (idx, q.1[idx].clone())
-                };
-                let stats = Simulator::new(job.cfg).run(&job.kernel);
-                *results[idx].lock() = Some((job.label, stats));
+            s.spawn(|| loop {
+                let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let job = &jobs[idx];
+                let stats = Simulator::new(job.cfg.clone()).run(&job.kernel);
+                *results[idx].lock().expect("runner mutex poisoned") =
+                    Some((job.label.clone(), stats));
             });
         }
-    })
-    .expect("runner threads must not panic");
+    });
 
-    results.into_iter().map(|m| m.into_inner().expect("job completed")).collect()
+    results
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("runner mutex poisoned")
+                .expect("job completed")
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -80,14 +95,40 @@ mod tests {
                 .ialu(3)
                 .build()
         };
-        let jobs =
-            vec![Job::new("a", cfg.clone(), k(1)), Job::new("b", cfg.clone(), k(2)), Job::new("c", cfg, k(3))];
+        let jobs = vec![
+            Job::new("a", cfg.clone(), k(1)),
+            Job::new("b", cfg.clone(), k(2)),
+            Job::new("c", cfg, k(3)),
+        ];
         let out = run_all(jobs);
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].0, "a");
         assert_eq!(out[2].0, "c");
         assert_eq!(out[0].1.blocks_completed, 1);
         assert_eq!(out[2].1.blocks_completed, 3);
+    }
+
+    #[test]
+    fn parallel_runner_is_deterministic() {
+        // Thread scheduling must not leak into results: two parallel sweeps
+        // of the same jobs yield identical stats (each simulation is a pure
+        // function of its config and kernel).
+        let mut cfg = RunConfig::baseline_lrr();
+        cfg.gpu.num_sms = 2;
+        let jobs = || -> Vec<Job> {
+            (1..=6u32)
+                .map(|n| {
+                    let k = KernelBuilder::new(format!("k{n}"))
+                        .threads_per_block(64)
+                        .regs_per_thread(12)
+                        .grid_blocks(4 * n)
+                        .ialu(n)
+                        .build();
+                    Job::new(format!("job{n}"), cfg.clone(), k)
+                })
+                .collect()
+        };
+        assert_eq!(run_all(jobs()), run_all(jobs()));
     }
 
     #[test]

@@ -35,7 +35,13 @@ pub struct LatencyConfig {
 
 impl Default for LatencyConfig {
     fn default() -> Self {
-        LatencyConfig { ialu: 4, imul: 8, fp: 6, sfu: 20, scratchpad: 10 }
+        LatencyConfig {
+            ialu: 4,
+            imul: 8,
+            fp: 6,
+            sfu: 20,
+            scratchpad: 10,
+        }
     }
 }
 

@@ -55,7 +55,9 @@ impl DynThrottle {
         DynThrottle {
             probs,
             window_stalls: vec![0; num_sms],
-            rng_state: (0..num_sms as u64).map(|i| 0x9E37_79B9_7F4A_7C15 ^ (i + 1)).collect(),
+            rng_state: (0..num_sms as u64)
+                .map(|i| 0x9E37_79B9_7F4A_7C15 ^ (i + 1))
+                .collect(),
             period,
             step,
             next_deadline: period,

@@ -30,7 +30,8 @@ pub fn ceil_log2(x: u32) -> u32 {
 /// and `w` warp slots per SM (paper Sec. V):
 /// `(1 + T·⌈log2(T+1)⌉ + 2W + ⌊W/2⌋·⌈log2 W⌉) · N`.
 pub fn register_sharing_bits(t: u32, w: u32, n: u32) -> u64 {
-    let per_sm = 1 + u64::from(t) * u64::from(ceil_log2(t + 1))
+    let per_sm = 1
+        + u64::from(t) * u64::from(ceil_log2(t + 1))
         + 2 * u64::from(w)
         + u64::from(w / 2) * u64::from(ceil_log2(w));
     per_sm * u64::from(n)
@@ -39,7 +40,8 @@ pub fn register_sharing_bits(t: u32, w: u32, n: u32) -> u64 {
 /// Storage (bits) for scratchpad sharing (paper Sec. V):
 /// `(1 + T·⌈log2(T+1)⌉ + W + ⌊T/2⌋·⌈log2 T⌉) · N`.
 pub fn scratchpad_sharing_bits(t: u32, w: u32, n: u32) -> u64 {
-    let per_sm = 1 + u64::from(t) * u64::from(ceil_log2(t + 1))
+    let per_sm = 1
+        + u64::from(t) * u64::from(ceil_log2(t + 1))
         + u64::from(w)
         + u64::from(t / 2) * u64::from(ceil_log2(t));
     per_sm * u64::from(n)
@@ -105,7 +107,13 @@ mod tests {
 
     #[test]
     fn cost_scales_linearly_with_sms() {
-        assert_eq!(register_sharing_bits(8, 48, 28), 2 * register_sharing_bits(8, 48, 14));
-        assert_eq!(scratchpad_sharing_bits(8, 48, 28), 2 * scratchpad_sharing_bits(8, 48, 14));
+        assert_eq!(
+            register_sharing_bits(8, 48, 28),
+            2 * register_sharing_bits(8, 48, 14)
+        );
+        assert_eq!(
+            scratchpad_sharing_bits(8, 48, 28),
+            2 * scratchpad_sharing_bits(8, 48, 14)
+        );
     }
 }

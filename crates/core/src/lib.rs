@@ -22,6 +22,24 @@
 //!
 //! All of it is IO-free, allocation-light, and fully deterministic, so the
 //! simulator built on top is reproducible bit-for-bit.
+//!
+//! The paper's motivating example (Sec. I-A) in four lines: hotspot's
+//! 36 regs × 256 threads leave 3 resident blocks and 5120 wasted registers;
+//! register sharing at the default threshold `t = 0.1` doubles residency.
+//!
+//! ```
+//! use grs_core::{compute_launch_plan, occupancy, GpuConfig, KernelFootprint};
+//! use grs_core::{ResourceKind, Threshold};
+//!
+//! let sm = GpuConfig::paper_baseline().sm;
+//! let hotspot = KernelFootprint { threads_per_block: 256, regs_per_thread: 36, smem_per_block: 0 };
+//!
+//! let occ = occupancy(&sm, &hotspot);
+//! assert_eq!((occ.blocks, occ.wasted_registers), (3, 5120));
+//!
+//! let plan = compute_launch_plan(&sm, &hotspot, Threshold::paper_default(), ResourceKind::Registers);
+//! assert_eq!((plan.unshared, plan.shared_pairs, plan.max_blocks), (0, 3, 6));
+//! ```
 
 pub mod config;
 pub mod dynwarp;

@@ -73,16 +73,14 @@ impl Occupancy {
 /// constraints of paper Sec. II, and the waste figures are what Fig. 1
 /// plots.
 pub fn occupancy(sm: &SmConfig, kernel: &KernelFootprint) -> Occupancy {
-    let reg_limit = if kernel.regs_per_block() == 0 {
-        u32::MAX
-    } else {
-        sm.registers / kernel.regs_per_block()
-    };
-    let smem_limit = if kernel.smem_per_block == 0 {
-        u32::MAX
-    } else {
-        sm.scratchpad_bytes / kernel.smem_per_block
-    };
+    let reg_limit = sm
+        .registers
+        .checked_div(kernel.regs_per_block())
+        .unwrap_or(u32::MAX);
+    let smem_limit = sm
+        .scratchpad_bytes
+        .checked_div(kernel.smem_per_block)
+        .unwrap_or(u32::MAX);
     let thread_limit = sm.max_threads / kernel.threads_per_block.max(1);
     let block_limit = sm.max_blocks;
 
@@ -104,10 +102,15 @@ pub fn occupancy(sm: &SmConfig, kernel: &KernelFootprint) -> Occupancy {
         smem_limit,
         thread_limit,
         block_limit,
-        wasted_registers: sm.registers - blocks.saturating_mul(kernel.regs_per_block()).min(sm.registers),
+        wasted_registers: sm.registers
+            - blocks
+                .saturating_mul(kernel.regs_per_block())
+                .min(sm.registers),
         wasted_scratchpad: sm.scratchpad_bytes
-            - blocks.saturating_mul(kernel.smem_per_block).min(sm.scratchpad_bytes),
-        }
+            - blocks
+                .saturating_mul(kernel.smem_per_block)
+                .min(sm.scratchpad_bytes),
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +123,11 @@ mod tests {
     }
 
     fn fp(threads: u32, regs: u32, smem: u32) -> KernelFootprint {
-        KernelFootprint { threads_per_block: threads, regs_per_thread: regs, smem_per_block: smem }
+        KernelFootprint {
+            threads_per_block: threads,
+            regs_per_thread: regs,
+            smem_per_block: smem,
+        }
     }
 
     #[test]

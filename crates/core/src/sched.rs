@@ -86,15 +86,21 @@ impl SchedulerKind {
     /// `units` scheduler units.
     pub fn build(self, num_slots: usize, units: usize) -> Scheduler {
         match self {
-            SchedulerKind::Lrr => Scheduler::Lrr { next: vec![0; units] },
-            SchedulerKind::Gto => Scheduler::Gto { last: vec![None; units] },
+            SchedulerKind::Lrr => Scheduler::Lrr {
+                next: vec![0; units],
+            },
+            SchedulerKind::Gto => Scheduler::Gto {
+                last: vec![None; units],
+            },
             SchedulerKind::TwoLevel { group_size } => Scheduler::TwoLevel {
                 group_size: group_size.max(1) as usize,
                 active_group: vec![0; units],
                 next_in_group: vec![0; units],
                 num_slots,
             },
-            SchedulerKind::Owf => Scheduler::Owf { last: vec![None; units] },
+            SchedulerKind::Owf => Scheduler::Owf {
+                last: vec![None; units],
+            },
         }
     }
 }
@@ -178,7 +184,12 @@ impl Scheduler {
                 last[unit] = pick;
                 pick
             }
-            Scheduler::TwoLevel { group_size, active_group, next_in_group, num_slots } => {
+            Scheduler::TwoLevel {
+                group_size,
+                active_group,
+                next_in_group,
+                num_slots,
+            } => {
                 if *num_slots == 0 {
                     return None;
                 }
@@ -194,8 +205,11 @@ impl Scheduler {
                     }
                     // A freshly-entered group starts its round robin at the
                     // beginning; the active group resumes from its pointer.
-                    let start =
-                        if g == active_group[unit] { next_in_group[unit] % width } else { 0 };
+                    let start = if g == active_group[unit] {
+                        next_in_group[unit] % width
+                    } else {
+                        0
+                    };
                     for off in 0..width {
                         let slot = lo + (start + off) % width;
                         if let Some(v) = views.iter().find(|v| v.slot == slot) {
@@ -243,7 +257,12 @@ mod tests {
     use super::*;
 
     fn v(slot: usize, id: u64, class: WarpClass, ready: bool) -> WarpView {
-        WarpView { slot, dynamic_id: id, class, ready }
+        WarpView {
+            slot,
+            dynamic_id: id,
+            class,
+            ready,
+        }
     }
 
     fn all_unshared(ready: &[bool]) -> Vec<WarpView> {

@@ -196,7 +196,10 @@ pub struct SmemPairLock {
 impl SmemPairLock {
     /// Fresh, unheld lock.
     pub fn new() -> Self {
-        SmemPairLock { holder: None, owner: None }
+        SmemPairLock {
+            holder: None,
+            owner: None,
+        }
     }
 
     /// Does `member` hold the scratchpad lock?
@@ -295,6 +298,7 @@ mod tests {
         let mut l = RegPairLocks::new(2);
         assert_eq!(l.access_shared(A, 1), RegAccess::Granted); // W2
         assert_eq!(l.access_shared(B, 0), RegAccess::Blocked); // W3 denied
+
         // Once W2 finishes, B may proceed.
         l.warp_finished(A, 1);
         assert_eq!(l.access_shared(B, 0), RegAccess::Granted);

@@ -177,7 +177,11 @@ mod tests {
 
     #[test]
     fn footprint_arithmetic() {
-        let f = KernelFootprint { threads_per_block: 256, regs_per_thread: 36, smem_per_block: 1024 };
+        let f = KernelFootprint {
+            threads_per_block: 256,
+            regs_per_thread: 36,
+            smem_per_block: 1024,
+        };
         assert_eq!(f.regs_per_block(), 9216);
         assert_eq!(f.per_block(ResourceKind::Registers), 9216);
         assert_eq!(f.per_block(ResourceKind::Scratchpad), 1024);

@@ -111,20 +111,14 @@ pub fn compute_launch_plan(
     // Clamps from the remaining Sec. II constraints, applied to M.
     let thread_limit = sm.max_threads / kernel.threads_per_block.max(1);
     let other_limit = match resource {
-        ResourceKind::Registers => {
-            if kernel.smem_per_block == 0 {
-                u32::MAX
-            } else {
-                sm.scratchpad_bytes / kernel.smem_per_block
-            }
-        }
-        ResourceKind::Scratchpad => {
-            if kernel.regs_per_block() == 0 {
-                u32::MAX
-            } else {
-                sm.registers / kernel.regs_per_block()
-            }
-        }
+        ResourceKind::Registers => sm
+            .scratchpad_bytes
+            .checked_div(kernel.smem_per_block)
+            .unwrap_or(u32::MAX),
+        ResourceKind::Scratchpad => sm
+            .registers
+            .checked_div(kernel.regs_per_block())
+            .unwrap_or(u32::MAX),
     };
     let m_cap = sm.max_blocks.min(thread_limit).min(other_limit);
 
@@ -159,7 +153,11 @@ mod tests {
     fn reg_plan(threads: u32, regs: u32, pct: f64) -> LaunchPlan {
         compute_launch_plan(
             &sm(),
-            &KernelFootprint { threads_per_block: threads, regs_per_thread: regs, smem_per_block: 0 },
+            &KernelFootprint {
+                threads_per_block: threads,
+                regs_per_thread: regs,
+                smem_per_block: 0,
+            },
             Threshold::from_sharing_pct(pct).unwrap(),
             ResourceKind::Registers,
         )
@@ -168,7 +166,11 @@ mod tests {
     fn smem_plan(threads: u32, smem: u32, pct: f64) -> LaunchPlan {
         compute_launch_plan(
             &sm(),
-            &KernelFootprint { threads_per_block: threads, regs_per_thread: 16, smem_per_block: smem },
+            &KernelFootprint {
+                threads_per_block: threads,
+                regs_per_thread: 16,
+                smem_per_block: smem,
+            },
             Threshold::from_sharing_pct(pct).unwrap(),
             ResourceKind::Scratchpad,
         )
@@ -288,8 +290,12 @@ mod tests {
                 };
                 let p = compute_launch_plan(&sm(), &fp, t, ResourceKind::Registers);
                 let rtb = f64::from(fp.regs_per_block());
-                let used = f64::from(p.unshared) * rtb + f64::from(p.shared_pairs) * (1.0 + t.t()) * rtb;
-                assert!(used <= f64::from(sm().registers) + 1e-6, "{p:?} uses {used}");
+                let used =
+                    f64::from(p.unshared) * rtb + f64::from(p.shared_pairs) * (1.0 + t.t()) * rtb;
+                assert!(
+                    used <= f64::from(sm().registers) + 1e-6,
+                    "{p:?} uses {used}"
+                );
             }
         }
     }

@@ -56,8 +56,8 @@ pub fn reorder_declarations(kernel: &mut Kernel) -> ReorderReport {
     let used = order.len() as u32;
     // Unused registers keep their original relative order after all used
     // ones.
-    for i in 0..n {
-        if !seen[i] {
+    for (i, &is_used) in seen.iter().enumerate() {
+        if !is_used {
             order.push(i as u16);
         }
     }
@@ -67,7 +67,11 @@ pub fn reorder_declarations(kernel: &mut Kernel) -> ReorderReport {
     }
     let changed = new_seq != kernel.decl_seq;
     kernel.set_decl_order(new_seq);
-    ReorderReport { changed, used_registers: used, unused_registers: n as u32 - used }
+    ReorderReport {
+        changed,
+        used_registers: used,
+        unused_registers: n as u32 - used,
+    }
 }
 
 /// Number of static instructions from program start that use only registers
@@ -93,7 +97,10 @@ mod tests {
     /// whose default sequence numbers are high; after the pass they are low.
     #[test]
     fn fig7_style_reordering() {
-        let mut k = KernelBuilder::new("sgemm-ish").regs_per_thread(40).ialu(1).build();
+        let mut k = KernelBuilder::new("sgemm-ish")
+            .regs_per_thread(40)
+            .ialu(1)
+            .build();
         // Overwrite program: first instruction uses $r31 and $r35 (late in
         // declaration order, like $p0 seq 31 / $r124 seq 35 in the paper).
         k.program = Program::new(vec![
@@ -133,7 +140,11 @@ mod tests {
 
     #[test]
     fn pass_is_idempotent() {
-        let mut k = KernelBuilder::new("t").regs_per_thread(12).ffma(5).ialu(3).build();
+        let mut k = KernelBuilder::new("t")
+            .regs_per_thread(12)
+            .ffma(5)
+            .ialu(3)
+            .build();
         reorder_declarations(&mut k);
         let first = k.decl_seq.clone();
         let report = reorder_declarations(&mut k);
@@ -143,7 +154,11 @@ mod tests {
 
     #[test]
     fn result_is_always_a_permutation() {
-        let mut k = KernelBuilder::new("t").regs_per_thread(9).ialu(2).sfu(1).build();
+        let mut k = KernelBuilder::new("t")
+            .regs_per_thread(9)
+            .ialu(2)
+            .sfu(1)
+            .build();
         reorder_declarations(&mut k);
         let mut sorted = k.decl_seq.clone();
         sorted.sort_unstable();
@@ -170,15 +185,22 @@ mod tests {
     fn monotone_improvement_at_every_boundary() {
         // The optimized order is optimal: at every boundary it retires at
         // least as many leading instructions as the identity order.
-        let mut k = KernelBuilder::new("t").regs_per_thread(20).ffma(4).ialu(4).build();
+        let mut k = KernelBuilder::new("t")
+            .regs_per_thread(20)
+            .ffma(4)
+            .ialu(4)
+            .build();
         k.program.instrs.rotate_right(1); // scramble first-use order a bit
-        // Fix: rotate moved Exit to front; rotate back for validity.
+
+        // The rotate moved Exit to the front; rotate back for validity.
         k.program.instrs.rotate_left(1);
-        let before: Vec<usize> =
-            (0..20).map(|b| instrs_before_shared_access(&k, b as u16)).collect();
+        let before: Vec<usize> = (0..20)
+            .map(|b| instrs_before_shared_access(&k, b as u16))
+            .collect();
         reorder_declarations(&mut k);
-        let after: Vec<usize> =
-            (0..20).map(|b| instrs_before_shared_access(&k, b as u16)).collect();
+        let after: Vec<usize> = (0..20)
+            .map(|b| instrs_before_shared_access(&k, b as u16))
+            .collect();
         for (b, (x, y)) in before.iter().zip(&after).enumerate() {
             assert!(y >= x, "boundary {b}: {y} < {x}");
         }

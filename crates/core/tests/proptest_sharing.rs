@@ -1,7 +1,10 @@
 //! Property tests for the sharing runtime: lock mutual exclusion, the
 //! deadlock-avoidance invariant, ownership transfer, and scheduler contracts.
 
-use grs_core::{PairMember, RegAccess, RegPairLocks, Scheduler, SchedulerKind, SmemPairLock, WarpClass, WarpView};
+use grs_core::{
+    PairMember, RegAccess, RegPairLocks, Scheduler, SchedulerKind, SmemPairLock, WarpClass,
+    WarpView,
+};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]

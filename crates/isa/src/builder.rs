@@ -174,8 +174,11 @@ impl KernelBuilder {
     /// subsequent chained arithmetic consumes the loaded value.
     pub fn ld_shared(mut self, offset: u32, bytes: u32) -> Self {
         let d = self.roll();
-        self.instrs
-            .push(Instr::new(Op::LdShared(SharedPattern::new(offset, bytes)), Some(d), &[]));
+        self.instrs.push(Instr::new(
+            Op::LdShared(SharedPattern::new(offset, bytes)),
+            Some(d),
+            &[],
+        ));
         self.last_dst = Some(d);
         self
     }
@@ -183,8 +186,11 @@ impl KernelBuilder {
     /// Append a scratchpad store of the previous result.
     pub fn st_shared(mut self, offset: u32, bytes: u32) -> Self {
         let v = self.chain_src();
-        self.instrs
-            .push(Instr::new(Op::StShared(SharedPattern::new(offset, bytes)), None, &[v]));
+        self.instrs.push(Instr::new(
+            Op::StShared(SharedPattern::new(offset, bytes)),
+            None,
+            &[v],
+        ));
         self
     }
 
@@ -212,7 +218,11 @@ impl KernelBuilder {
         let loop_id = self.next_loop_id;
         self.next_loop_id += 1;
         self.instrs.push(Instr::new(
-            Op::BranchBack { target: target as u16, trips, loop_id },
+            Op::BranchBack {
+                target: target as u16,
+                trips,
+                loop_id,
+            },
             None,
             &[],
         ));
@@ -266,7 +276,10 @@ mod tests {
 
     #[test]
     fn rolling_operands_stay_in_range() {
-        let k = KernelBuilder::new("small").regs_per_thread(3).ialu(50).build();
+        let k = KernelBuilder::new("small")
+            .regs_per_thread(3)
+            .ialu(50)
+            .build();
         assert!(k.program.max_reg().unwrap() < 3);
     }
 

@@ -40,7 +40,11 @@ pub enum Op {
     /// Backward branch to instruction index `target`, taken `trips` times per
     /// warp (then falls through). `loop_id` indexes the warp's trip-counter
     /// table; ids must be unique within a program.
-    BranchBack { target: u16, trips: u16, loop_id: u8 },
+    BranchBack {
+        target: u16,
+        trips: u16,
+        loop_id: u8,
+    },
     /// Retire the warp.
     Exit,
 }
@@ -111,7 +115,12 @@ impl Instr {
         assert!(srcs.len() <= MAX_SRCS, "at most {MAX_SRCS} sources");
         let mut s = [Reg(0); MAX_SRCS];
         s[..srcs.len()].copy_from_slice(srcs);
-        Instr { op, dst, srcs: s, nsrc: srcs.len() as u8 }
+        Instr {
+            op,
+            dst,
+            srcs: s,
+            nsrc: srcs.len() as u8,
+        }
     }
 
     /// Valid source operands.
@@ -130,7 +139,12 @@ impl Instr {
         use std::fmt::Write as _;
         let mut s = String::with_capacity(32);
         s.push_str(self.op.mnemonic());
-        if let Op::BranchBack { target, trips, loop_id } = self.op {
+        if let Op::BranchBack {
+            target,
+            trips,
+            loop_id,
+        } = self.op
+        {
             let _ = write!(s, " L{target} (trips={trips}, loop={loop_id})");
             return s;
         }
@@ -165,7 +179,10 @@ mod tests {
     fn instr_holds_sources_in_order() {
         let i = Instr::new(Op::FFma, Some(Reg(4)), &[Reg(1), Reg(2), Reg(3)]);
         assert_eq!(i.sources(), &[Reg(1), Reg(2), Reg(3)]);
-        assert_eq!(i.operands().collect::<Vec<_>>(), vec![Reg(1), Reg(2), Reg(3), Reg(4)]);
+        assert_eq!(
+            i.operands().collect::<Vec<_>>(),
+            vec![Reg(1), Reg(2), Reg(3), Reg(4)]
+        );
     }
 
     #[test]
@@ -178,7 +195,15 @@ mod tests {
     fn disasm_is_readable() {
         let i = Instr::new(Op::FAdd, Some(Reg(2)), &[Reg(0), Reg(1)]);
         assert_eq!(i.disasm(), "fadd $r2, $r0, $r1");
-        let b = Instr::new(Op::BranchBack { target: 3, trips: 10, loop_id: 0 }, None, &[]);
+        let b = Instr::new(
+            Op::BranchBack {
+                target: 3,
+                trips: 10,
+                loop_id: 0,
+            },
+            None,
+            &[],
+        );
         assert_eq!(b.disasm(), "bra L3 (trips=10, loop=0)");
     }
 }

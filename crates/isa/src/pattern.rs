@@ -53,7 +53,9 @@ impl GlobalPattern {
     #[inline]
     pub fn transactions(self) -> u32 {
         match self {
-            GlobalPattern::Stream | GlobalPattern::BlockTile { .. } | GlobalPattern::KernelTile { .. } => 1,
+            GlobalPattern::Stream
+            | GlobalPattern::BlockTile { .. }
+            | GlobalPattern::KernelTile { .. } => 1,
             GlobalPattern::Scatter { txns, .. } => txns.max(1) as u32,
         }
     }
@@ -96,13 +98,30 @@ mod tests {
     fn coalesced_patterns_are_single_transaction() {
         assert_eq!(GlobalPattern::Stream.transactions(), 1);
         assert_eq!(GlobalPattern::BlockTile { tile_lines: 8 }.transactions(), 1);
-        assert_eq!(GlobalPattern::KernelTile { tile_lines: 8 }.transactions(), 1);
+        assert_eq!(
+            GlobalPattern::KernelTile { tile_lines: 8 }.transactions(),
+            1
+        );
     }
 
     #[test]
     fn scatter_transaction_count_is_clamped_to_at_least_one() {
-        assert_eq!(GlobalPattern::Scatter { span_lines: 64, txns: 0 }.transactions(), 1);
-        assert_eq!(GlobalPattern::Scatter { span_lines: 64, txns: 7 }.transactions(), 7);
+        assert_eq!(
+            GlobalPattern::Scatter {
+                span_lines: 64,
+                txns: 0
+            }
+            .transactions(),
+            1
+        );
+        assert_eq!(
+            GlobalPattern::Scatter {
+                span_lines: 64,
+                txns: 7
+            }
+            .transactions(),
+            7
+        );
     }
 
     #[test]

@@ -67,7 +67,11 @@ impl Program {
             }
             match self.instrs[pc].op {
                 Op::Exit => break,
-                Op::BranchBack { target, trips, loop_id } => {
+                Op::BranchBack {
+                    target,
+                    trips,
+                    loop_id,
+                } => {
                     let id = loop_id as usize;
                     if !initialized[id] {
                         counters[id] = trips;
@@ -89,7 +93,11 @@ impl Program {
 
     /// Highest architectural register id referenced, if any.
     pub fn max_reg(&self) -> Option<u16> {
-        self.instrs.iter().flat_map(|i| i.operands()).map(|r| r.0).max()
+        self.instrs
+            .iter()
+            .flat_map(|i| i.operands())
+            .map(|r| r.0)
+            .max()
     }
 
     /// Multi-line disassembly listing.
@@ -125,7 +133,15 @@ mod tests {
         // 2: exit
         let p = Program::new(vec![
             ialu(),
-            Instr::new(Op::BranchBack { target: 0, trips: 4, loop_id: 0 }, None, &[]),
+            Instr::new(
+                Op::BranchBack {
+                    target: 0,
+                    trips: 4,
+                    loop_id: 0,
+                },
+                None,
+                &[],
+            ),
             Instr::new(Op::Exit, None, &[]),
         ]);
         // 5 * (ialu + bra) + exit
@@ -142,8 +158,24 @@ mod tests {
         // 3: exit
         let p = Program::new(vec![
             ialu(),
-            Instr::new(Op::BranchBack { target: 0, trips: 3, loop_id: 0 }, None, &[]),
-            Instr::new(Op::BranchBack { target: 0, trips: 2, loop_id: 1 }, None, &[]),
+            Instr::new(
+                Op::BranchBack {
+                    target: 0,
+                    trips: 3,
+                    loop_id: 0,
+                },
+                None,
+                &[],
+            ),
+            Instr::new(
+                Op::BranchBack {
+                    target: 0,
+                    trips: 2,
+                    loop_id: 1,
+                },
+                None,
+                &[],
+            ),
             Instr::new(Op::Exit, None, &[]),
         ]);
         // inner pass = 4*(ialu+bra) = 8 instructions, then outer bra.

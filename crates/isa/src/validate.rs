@@ -11,14 +11,22 @@ pub enum ValidateError {
     /// Last reachable path never exits; programs must end in `Exit`.
     MissingExit,
     /// A register operand `reg` is `>= regs_per_thread`.
-    RegOutOfRange { pc: usize, reg: u16, regs_per_thread: u32 },
+    RegOutOfRange {
+        pc: usize,
+        reg: u16,
+        regs_per_thread: u32,
+    },
     /// A branch target points at or beyond its own pc (only back-edges are
     /// legal) or beyond the program.
     BadBranchTarget { pc: usize, target: u16 },
     /// Two `BranchBack` instructions reuse a loop id.
     DuplicateLoopId { pc: usize, loop_id: u8 },
     /// A scratchpad access touches bytes `>= smem_per_block`.
-    SmemOutOfRange { pc: usize, max_byte: u32, smem_per_block: u32 },
+    SmemOutOfRange {
+        pc: usize,
+        max_byte: u32,
+        smem_per_block: u32,
+    },
     /// `decl_seq` is not a permutation of `0..regs_per_thread`.
     BadDeclOrder,
     /// Zero threads or zero grid blocks.
@@ -33,8 +41,15 @@ impl std::fmt::Display for ValidateError {
         match self {
             ValidateError::EmptyProgram => write!(f, "program is empty"),
             ValidateError::MissingExit => write!(f, "program does not end with Exit"),
-            ValidateError::RegOutOfRange { pc, reg, regs_per_thread } => {
-                write!(f, "pc {pc}: register $r{reg} out of range (regs/thread = {regs_per_thread})")
+            ValidateError::RegOutOfRange {
+                pc,
+                reg,
+                regs_per_thread,
+            } => {
+                write!(
+                    f,
+                    "pc {pc}: register $r{reg} out of range (regs/thread = {regs_per_thread})"
+                )
             }
             ValidateError::BadBranchTarget { pc, target } => {
                 write!(f, "pc {pc}: branch target {target} is not a back-edge")
@@ -42,7 +57,11 @@ impl std::fmt::Display for ValidateError {
             ValidateError::DuplicateLoopId { pc, loop_id } => {
                 write!(f, "pc {pc}: loop id {loop_id} already used")
             }
-            ValidateError::SmemOutOfRange { pc, max_byte, smem_per_block } => {
+            ValidateError::SmemOutOfRange {
+                pc,
+                max_byte,
+                smem_per_block,
+            } => {
                 write!(f, "pc {pc}: scratchpad byte {max_byte} out of range ({smem_per_block} bytes/block)")
             }
             ValidateError::BadDeclOrder => write!(f, "decl_seq is not a permutation"),
@@ -66,7 +85,9 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
         return Err(ValidateError::EmptyLaunch);
     }
     if kernel.threads_per_block > 1024 {
-        return Err(ValidateError::BlockTooLarge { threads: kernel.threads_per_block });
+        return Err(ValidateError::BlockTooLarge {
+            threads: kernel.threads_per_block,
+        });
     }
     match kernel.program.instrs.last().map(|i| i.op) {
         Some(Op::Exit) => {}
@@ -99,7 +120,9 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
             }
         }
         match instr.op {
-            Op::BranchBack { target, loop_id, .. } => {
+            Op::BranchBack {
+                target, loop_id, ..
+            } => {
                 if usize::from(target) >= pc {
                     return Err(ValidateError::BadBranchTarget { pc, target });
                 }
@@ -108,14 +131,13 @@ pub fn validate(kernel: &Kernel) -> Result<(), ValidateError> {
                 }
                 loop_ids_seen[loop_id as usize] = true;
             }
-            Op::LdShared(p) | Op::StShared(p)
-                if p.max_byte() >= kernel.smem_per_block => {
-                    return Err(ValidateError::SmemOutOfRange {
-                        pc,
-                        max_byte: p.max_byte(),
-                        smem_per_block: kernel.smem_per_block,
-                    });
-                }
+            Op::LdShared(p) | Op::StShared(p) if p.max_byte() >= kernel.smem_per_block => {
+                return Err(ValidateError::SmemOutOfRange {
+                    pc,
+                    max_byte: p.max_byte(),
+                    smem_per_block: kernel.smem_per_block,
+                });
+            }
             _ => {}
         }
     }
@@ -132,7 +154,11 @@ mod tests {
     use crate::reg::Reg;
 
     fn ok_kernel() -> Kernel {
-        KernelBuilder::new("ok").regs_per_thread(8).smem_per_block(256).ialu(3).build()
+        KernelBuilder::new("ok")
+            .regs_per_thread(8)
+            .smem_per_block(256)
+            .ialu(3)
+            .build()
     }
 
     #[test]
@@ -157,8 +183,13 @@ mod tests {
     #[test]
     fn rejects_out_of_range_register() {
         let mut k = ok_kernel();
-        k.program.instrs.insert(0, Instr::new(Op::IAlu, Some(Reg(99)), &[]));
-        assert!(matches!(validate(&k), Err(ValidateError::RegOutOfRange { reg: 99, .. })));
+        k.program
+            .instrs
+            .insert(0, Instr::new(Op::IAlu, Some(Reg(99)), &[]));
+        assert!(matches!(
+            validate(&k),
+            Err(ValidateError::RegOutOfRange { reg: 99, .. })
+        ));
     }
 
     #[test]
@@ -167,9 +198,20 @@ mod tests {
         let end = k.program.len() as u16;
         k.program.instrs.insert(
             0,
-            Instr::new(Op::BranchBack { target: end, trips: 1, loop_id: 0 }, None, &[]),
+            Instr::new(
+                Op::BranchBack {
+                    target: end,
+                    trips: 1,
+                    loop_id: 0,
+                },
+                None,
+                &[],
+            ),
         );
-        assert!(matches!(validate(&k), Err(ValidateError::BadBranchTarget { .. })));
+        assert!(matches!(
+            validate(&k),
+            Err(ValidateError::BadBranchTarget { .. })
+        ));
     }
 
     #[test]
@@ -178,13 +220,32 @@ mod tests {
         let n = k.program.len();
         k.program.instrs.insert(
             n - 1,
-            Instr::new(Op::BranchBack { target: 0, trips: 1, loop_id: 7 }, None, &[]),
+            Instr::new(
+                Op::BranchBack {
+                    target: 0,
+                    trips: 1,
+                    loop_id: 7,
+                },
+                None,
+                &[],
+            ),
         );
         k.program.instrs.insert(
             n,
-            Instr::new(Op::BranchBack { target: 1, trips: 1, loop_id: 7 }, None, &[]),
+            Instr::new(
+                Op::BranchBack {
+                    target: 1,
+                    trips: 1,
+                    loop_id: 7,
+                },
+                None,
+                &[],
+            ),
         );
-        assert!(matches!(validate(&k), Err(ValidateError::DuplicateLoopId { loop_id: 7, .. })));
+        assert!(matches!(
+            validate(&k),
+            Err(ValidateError::DuplicateLoopId { loop_id: 7, .. })
+        ));
     }
 
     #[test]
@@ -192,9 +253,16 @@ mod tests {
         let mut k = ok_kernel(); // 256 bytes of smem
         k.program.instrs.insert(
             0,
-            Instr::new(Op::LdShared(SharedPattern::new(200, 100)), Some(Reg(0)), &[]),
+            Instr::new(
+                Op::LdShared(SharedPattern::new(200, 100)),
+                Some(Reg(0)),
+                &[],
+            ),
         );
-        assert!(matches!(validate(&k), Err(ValidateError::SmemOutOfRange { .. })));
+        assert!(matches!(
+            validate(&k),
+            Err(ValidateError::SmemOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -211,12 +279,19 @@ mod tests {
         assert_eq!(validate(&k), Err(ValidateError::EmptyLaunch));
         let mut k2 = ok_kernel();
         k2.threads_per_block = 2048;
-        assert!(matches!(validate(&k2), Err(ValidateError::BlockTooLarge { .. })));
+        assert!(matches!(
+            validate(&k2),
+            Err(ValidateError::BlockTooLarge { .. })
+        ));
     }
 
     #[test]
     fn error_messages_are_human_readable() {
-        let e = ValidateError::RegOutOfRange { pc: 3, reg: 9, regs_per_thread: 8 };
+        let e = ValidateError::RegOutOfRange {
+            pc: 3,
+            reg: 9,
+            regs_per_thread: 8,
+        };
         assert!(e.to_string().contains("$r9"));
     }
 }

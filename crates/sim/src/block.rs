@@ -66,7 +66,11 @@ pub fn pairing_of_slot(slot: u32, unshared: u32) -> Pairing {
         let off = slot - unshared;
         Pairing::Paired {
             pair: off / 2,
-            member: if off.is_multiple_of(2) { PairMember::A } else { PairMember::B },
+            member: if off.is_multiple_of(2) {
+                PairMember::A
+            } else {
+                PairMember::B
+            },
         }
     }
 }
@@ -80,10 +84,34 @@ mod tests {
         // U = 2, S = 2 → slots: [U, U, A0, B0, A1, B1]
         assert_eq!(pairing_of_slot(0, 2), Pairing::Unshared);
         assert_eq!(pairing_of_slot(1, 2), Pairing::Unshared);
-        assert_eq!(pairing_of_slot(2, 2), Pairing::Paired { pair: 0, member: PairMember::A });
-        assert_eq!(pairing_of_slot(3, 2), Pairing::Paired { pair: 0, member: PairMember::B });
-        assert_eq!(pairing_of_slot(4, 2), Pairing::Paired { pair: 1, member: PairMember::A });
-        assert_eq!(pairing_of_slot(5, 2), Pairing::Paired { pair: 1, member: PairMember::B });
+        assert_eq!(
+            pairing_of_slot(2, 2),
+            Pairing::Paired {
+                pair: 0,
+                member: PairMember::A
+            }
+        );
+        assert_eq!(
+            pairing_of_slot(3, 2),
+            Pairing::Paired {
+                pair: 0,
+                member: PairMember::B
+            }
+        );
+        assert_eq!(
+            pairing_of_slot(4, 2),
+            Pairing::Paired {
+                pair: 1,
+                member: PairMember::A
+            }
+        );
+        assert_eq!(
+            pairing_of_slot(5, 2),
+            Pairing::Paired {
+                pair: 1,
+                member: PairMember::B
+            }
+        );
     }
 
     #[test]

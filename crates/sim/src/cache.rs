@@ -172,6 +172,7 @@ mod tests {
     #[test]
     fn working_set_larger_than_capacity_thrashes() {
         let mut c = Cache::new(16 * 1024, 4, 128); // 128 lines
+
         // Stream 256 distinct lines twice: second pass still misses (LRU).
         for pass in 0..2 {
             for i in 0..256u64 {

@@ -92,7 +92,14 @@ impl Gpu {
         let mut cycle = 0u64;
         while !self.finished() && cycle < max_cycles {
             for sm in &mut self.sms {
-                sm.step(cycle, kinfo, &lat, &mut self.shared, &mut self.throttle, &mut self.dispatcher);
+                sm.step(
+                    cycle,
+                    kinfo,
+                    &lat,
+                    &mut self.shared,
+                    &mut self.throttle,
+                    &mut self.dispatcher,
+                );
             }
             self.throttle.on_cycle(cycle);
             cycle += 1;

@@ -63,7 +63,11 @@ impl SharedMem {
     /// Build from a memory configuration.
     pub fn new(cfg: MemConfig) -> Self {
         SharedMem {
-            l2: Cache::new(u64::from(cfg.l2_bytes), cfg.l2_ways, u64::from(cfg.line_bytes)),
+            l2: Cache::new(
+                u64::from(cfg.l2_bytes),
+                cfg.l2_ways,
+                u64::from(cfg.line_bytes),
+            ),
             l2_server: ServerQueue::new(cfg.l2_service_q4),
             dram_server: ServerQueue::new(cfg.dram_service_q4),
             cfg,
@@ -176,7 +180,11 @@ mod tests {
 
     fn mem() -> (SharedMem, Cache) {
         let cfg = MemConfig::default();
-        let l1 = Cache::new(u64::from(cfg.l1_bytes), cfg.l1_ways, u64::from(cfg.line_bytes));
+        let l1 = Cache::new(
+            u64::from(cfg.l1_bytes),
+            cfg.l1_ways,
+            u64::from(cfg.line_bytes),
+        );
         (SharedMem::new(cfg), l1)
     }
 
@@ -195,7 +203,11 @@ mod tests {
     fn l2_hit_cheaper_than_dram() {
         let (mut sm, mut l1a) = mem();
         let cfg = sm.cfg;
-        let mut l1b = Cache::new(u64::from(cfg.l1_bytes), cfg.l1_ways, u64::from(cfg.line_bytes));
+        let mut l1b = Cache::new(
+            u64::from(cfg.l1_bytes),
+            cfg.l1_ways,
+            u64::from(cfg.line_bytes),
+        );
         // SM A warms L2; SM B misses L1 but hits L2.
         let dram = sm.load(&mut l1a, 0x8000, 0);
         let l2hit = sm.load(&mut l1b, 0x8000, 0);
@@ -210,8 +222,9 @@ mod tests {
         // Distinct lines all missing to DRAM at the same cycle: latencies
         // must grow (non-strictly, thanks to sub-cycle service resolution)
         // as the service queue backs up.
-        let lats: Vec<u64> =
-            (0u64..8).map(|i| sm.load(&mut l1, 0x100_0000 + i * 0x10_0000, 0)).collect();
+        let lats: Vec<u64> = (0u64..8)
+            .map(|i| sm.load(&mut l1, 0x100_0000 + i * 0x10_0000, 0))
+            .collect();
         assert!(lats.windows(2).all(|w| w[0] <= w[1]), "{lats:?}");
         assert!(lats[7] > lats[0], "{lats:?}");
     }
@@ -235,7 +248,12 @@ mod tests {
         let mut w = Warp::new(0, 0, 0, 32, 0, 1);
         let mut a = Vec::new();
         for _ in 0..10 {
-            generate_addresses(GlobalPattern::BlockTile { tile_lines: 4 }, &mut w, 1, &mut a);
+            generate_addresses(
+                GlobalPattern::BlockTile { tile_lines: 4 },
+                &mut w,
+                1,
+                &mut a,
+            );
         }
         let base = layout::block_base(1) + layout::TILE_BASE;
         for addr in &a {
@@ -250,8 +268,18 @@ mod tests {
         let mut w_b0 = Warp::new(0, 0, 0, 32, 0, 0);
         let mut w_b9 = Warp::new(0, 0, 0, 32, 0, 9);
         let mut a = Vec::new();
-        generate_addresses(GlobalPattern::KernelTile { tile_lines: 8 }, &mut w_b0, 0, &mut a);
-        generate_addresses(GlobalPattern::KernelTile { tile_lines: 8 }, &mut w_b9, 9, &mut a);
+        generate_addresses(
+            GlobalPattern::KernelTile { tile_lines: 8 },
+            &mut w_b0,
+            0,
+            &mut a,
+        );
+        generate_addresses(
+            GlobalPattern::KernelTile { tile_lines: 8 },
+            &mut w_b9,
+            9,
+            &mut a,
+        );
         assert_eq!(a[0], a[1]); // same position → same address despite block
     }
 
@@ -260,7 +288,10 @@ mod tests {
         let mut w = Warp::new(0, 0, 0, 32, 0, 2);
         let mut a = Vec::new();
         generate_addresses(
-            GlobalPattern::Scatter { span_lines: 64, txns: 5 },
+            GlobalPattern::Scatter {
+                span_lines: 64,
+                txns: 5,
+            },
             &mut w,
             2,
             &mut a,

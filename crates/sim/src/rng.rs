@@ -15,7 +15,13 @@ impl XorShift64 {
     /// Seed the stream; a zero seed is remapped to a fixed non-zero constant
     /// (xorshift has an all-zero fixed point).
     pub fn new(seed: u64) -> Self {
-        XorShift64 { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+        XorShift64 {
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
+        }
     }
 
     /// Next 64-bit value.

@@ -74,13 +74,19 @@ impl RunConfig {
 
     /// Unshared baseline with GTO scheduling (`Unshared-GTO`, Fig. 10(a,b)).
     pub fn baseline_gto() -> Self {
-        RunConfig { scheduler: SchedulerKind::Gto, ..Self::baseline_lrr() }
+        RunConfig {
+            scheduler: SchedulerKind::Gto,
+            ..Self::baseline_lrr()
+        }
     }
 
     /// Unshared baseline with two-level scheduling (Fig. 10(c,d); the paper
     /// uses fetch groups of 8).
     pub fn baseline_two_level() -> Self {
-        RunConfig { scheduler: SchedulerKind::TwoLevel { group_size: 8 }, ..Self::baseline_lrr() }
+        RunConfig {
+            scheduler: SchedulerKind::TwoLevel { group_size: 8 },
+            ..Self::baseline_lrr()
+        }
     }
 
     /// The paper's full register-sharing configuration
@@ -169,7 +175,10 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::InvalidKernel(e) => write!(f, "invalid kernel: {e}"),
             RunError::TooManyRegisters { regs } => {
-                write!(f, "kernel declares {regs} registers/thread; the simulator supports ≤ 64")
+                write!(
+                    f,
+                    "kernel declares {regs} registers/thread; the simulator supports ≤ 64"
+                )
             }
             RunError::KernelDoesNotFit => write!(f, "kernel does not fit on one SM"),
         }
@@ -218,7 +227,9 @@ impl Simulator {
     pub fn try_run(&self, kernel: &Kernel) -> Result<SimStats, RunError> {
         grs_isa::validate(kernel).map_err(RunError::InvalidKernel)?;
         if kernel.regs_per_thread > 64 {
-            return Err(RunError::TooManyRegisters { regs: kernel.regs_per_thread });
+            return Err(RunError::TooManyRegisters {
+                regs: kernel.regs_per_thread,
+            });
         }
         let mut kernel = kernel.clone();
         if self.cfg.reorder_decls && self.cfg.sharing == SharingMode::Registers {

@@ -25,7 +25,11 @@ impl ServerQueue {
     /// One transaction per `interval_q4` quarter-cycles (4 = one per cycle,
     /// 1 = four per cycle).
     pub fn new(interval_q4: u32) -> Self {
-        ServerQueue { next_free_q: 0, interval_q: u64::from(interval_q4.max(1)), serviced: 0 }
+        ServerQueue {
+            next_free_q: 0,
+            interval_q: u64::from(interval_q4.max(1)),
+            serviced: 0,
+        }
     }
 
     /// Admit a transaction at cycle `now`; returns the *queueing delay* in

@@ -232,7 +232,9 @@ impl Sm {
         let mut any_live = false;
         let mut any_stall = false;
         for slot in 0..self.warps.len() {
-            let Some(w) = self.warps[slot].as_ref() else { continue };
+            let Some(w) = self.warps[slot].as_ref() else {
+                continue;
+            };
             if w.finished {
                 continue;
             }
@@ -248,8 +250,12 @@ impl Sm {
                 Pairing::Unshared => WarpClass::Unshared,
                 Pairing::Paired { pair, member } => {
                     let base = self.plan.unshared + 2 * pair;
-                    let partner_slot =
-                        base + if member == grs_core::PairMember::A { 1 } else { 0 };
+                    let partner_slot = base
+                        + if member == grs_core::PairMember::A {
+                            1
+                        } else {
+                            0
+                        };
                     let partner_present = self.blocks[partner_slot as usize].is_some();
                     match self.pairs[pair as usize].owner() {
                         _ if !partner_present => WarpClass::Unshared,
@@ -310,7 +316,12 @@ impl Sm {
                     }
                 }
             }
-            self.views.push(WarpView { slot, dynamic_id: w.dynamic_id, class, ready });
+            self.views.push(WarpView {
+                slot,
+                dynamic_id: w.dynamic_id,
+                class,
+                ready,
+            });
         }
         (any_live, any_stall)
     }
@@ -328,7 +339,9 @@ impl Sm {
     ) -> bool {
         let (pc, block_slot, warp_in_block, pairing) = {
             let w = self.warps[slot].as_ref().expect("issuing a live warp");
-            let b = self.blocks[w.block_slot as usize].as_ref().expect("live block");
+            let b = self.blocks[w.block_slot as usize]
+                .as_ref()
+                .expect("live block");
             (w.pc as usize, w.block_slot, w.warp_in_block, b.pairing)
         };
         let instr = kinfo.kernel.program.instrs[pc];
@@ -359,15 +372,46 @@ impl Sm {
             let w = self.warps[slot].as_mut().expect("issuing a live warp");
             threads = w.threads;
             match instr.op {
-                Op::IAlu => advance_alu(w, &instr, now, u64::from(lat.ialu), slot, &mut self.writebacks),
-                Op::IMul => advance_alu(w, &instr, now, u64::from(lat.imul), slot, &mut self.writebacks),
-                Op::FAdd | Op::FMul | Op::FFma => {
-                    advance_alu(w, &instr, now, u64::from(lat.fp), slot, &mut self.writebacks)
-                }
-                Op::Sfu => advance_alu(w, &instr, now, u64::from(lat.sfu), slot, &mut self.writebacks),
-                Op::LdShared(_) => {
-                    advance_alu(w, &instr, now, u64::from(lat.scratchpad), slot, &mut self.writebacks)
-                }
+                Op::IAlu => advance_alu(
+                    w,
+                    &instr,
+                    now,
+                    u64::from(lat.ialu),
+                    slot,
+                    &mut self.writebacks,
+                ),
+                Op::IMul => advance_alu(
+                    w,
+                    &instr,
+                    now,
+                    u64::from(lat.imul),
+                    slot,
+                    &mut self.writebacks,
+                ),
+                Op::FAdd | Op::FMul | Op::FFma => advance_alu(
+                    w,
+                    &instr,
+                    now,
+                    u64::from(lat.fp),
+                    slot,
+                    &mut self.writebacks,
+                ),
+                Op::Sfu => advance_alu(
+                    w,
+                    &instr,
+                    now,
+                    u64::from(lat.sfu),
+                    slot,
+                    &mut self.writebacks,
+                ),
+                Op::LdShared(_) => advance_alu(
+                    w,
+                    &instr,
+                    now,
+                    u64::from(lat.scratchpad),
+                    slot,
+                    &mut self.writebacks,
+                ),
                 Op::StShared(_) => {
                     w.pc += 1; // fire-and-forget scratchpad write
                 }
@@ -395,7 +439,8 @@ impl Sm {
                         NO_REG
                     };
                     w.outstanding_mem += 1;
-                    self.writebacks.push(Reverse((now + max_lat, slot as u32, reg, true)));
+                    self.writebacks
+                        .push(Reverse((now + max_lat, slot as u32, reg, true)));
                     w.pc += 1;
                 }
                 Op::Barrier => {
@@ -405,10 +450,17 @@ impl Sm {
                     block.at_barrier += 1;
                     if block.at_barrier == block.live_warps {
                         release_barrier(&mut self.warps, block_slot, kinfo.warps_per_block);
-                        self.blocks[block_slot as usize].as_mut().unwrap().at_barrier = 0;
+                        self.blocks[block_slot as usize]
+                            .as_mut()
+                            .unwrap()
+                            .at_barrier = 0;
                     }
                 }
-                Op::BranchBack { target, trips, loop_id } => {
+                Op::BranchBack {
+                    target,
+                    trips,
+                    loop_id,
+                } => {
                     let id = loop_id as usize;
                     if w.loop_init & (1 << id) == 0 {
                         w.loop_counters[id] = trips;
@@ -451,14 +503,19 @@ impl Sm {
                 l.warp_finished(member, warp_in_block as usize);
             }
         }
-        let block = self.blocks[block_slot as usize].as_mut().expect("retiring into live block");
+        let block = self.blocks[block_slot as usize]
+            .as_mut()
+            .expect("retiring into live block");
         block.live_warps -= 1;
         if block.live_warps == 0 {
             self.complete_block(block_slot, pairing, kinfo, dispatcher);
         } else if block.at_barrier > 0 && block.at_barrier == block.live_warps {
             // Remaining warps were all at the barrier; the exit releases it.
             release_barrier(&mut self.warps, block_slot, kinfo.warps_per_block);
-            self.blocks[block_slot as usize].as_mut().unwrap().at_barrier = 0;
+            self.blocks[block_slot as usize]
+                .as_mut()
+                .unwrap()
+                .at_barrier = 0;
         }
     }
 
@@ -505,7 +562,10 @@ fn advance_alu(
 
 fn release_barrier(warps: &mut [Option<Warp>], block_slot: u32, warps_per_block: u32) {
     let base = block_slot as usize * warps_per_block as usize;
-    for w in warps[base..base + warps_per_block as usize].iter_mut().flatten() {
+    for w in warps[base..base + warps_per_block as usize]
+        .iter_mut()
+        .flatten()
+    {
         w.at_barrier = false;
     }
 }

@@ -148,15 +148,27 @@ mod tests {
 
     #[test]
     fn ipc_is_thread_instrs_per_cycle() {
-        let s = SimStats { cycles: 100, thread_instrs: 2500, ..Default::default() };
+        let s = SimStats {
+            cycles: 100,
+            thread_instrs: 2500,
+            ..Default::default()
+        };
         assert_eq!(s.ipc(), 25.0);
         assert_eq!(SimStats::default().ipc(), 0.0);
     }
 
     #[test]
     fn improvement_pct() {
-        let base = SimStats { cycles: 100, thread_instrs: 1000, ..Default::default() };
-        let better = SimStats { cycles: 100, thread_instrs: 1200, ..Default::default() };
+        let base = SimStats {
+            cycles: 100,
+            thread_instrs: 1000,
+            ..Default::default()
+        };
+        let better = SimStats {
+            cycles: 100,
+            thread_instrs: 1200,
+            ..Default::default()
+        };
         assert!((better.ipc_improvement_pct(&base) - 20.0).abs() < 1e-12);
         assert!((base.ipc_improvement_pct(&better) + 16.666).abs() < 0.01);
     }
@@ -164,7 +176,10 @@ mod tests {
     #[test]
     fn decrease_pct_handles_zero_baselines() {
         let zero = SimStats::default();
-        let some = SimStats { stall_cycles: 50, ..Default::default() };
+        let some = SimStats {
+            stall_cycles: 50,
+            ..Default::default()
+        };
         assert_eq!(zero.stall_decrease_pct(&zero), 0.0);
         assert_eq!(some.stall_decrease_pct(&zero), -100.0);
         assert_eq!(zero.stall_decrease_pct(&some), 100.0);
@@ -172,7 +187,13 @@ mod tests {
 
     #[test]
     fn mem_ratios() {
-        let m = MemStats { l1_hits: 75, l1_misses: 25, l2_hits: 20, l2_misses: 5, transactions: 100 };
+        let m = MemStats {
+            l1_hits: 75,
+            l1_misses: 25,
+            l2_hits: 20,
+            l2_misses: 5,
+            transactions: 100,
+        };
         assert!((m.l1_miss_ratio() - 0.25).abs() < 1e-12);
         assert!((m.l2_miss_ratio() - 0.2).abs() < 1e-12);
         assert_eq!(MemStats::default().l1_miss_ratio(), 0.0);

@@ -31,7 +31,13 @@ fn scramble_decls(kernel: &mut Kernel, rotation: u16, keep: u16) {
     let hi = n - keep;
     kernel.set_decl_order(
         (0..n)
-            .map(|r| if r < keep { r } else { keep + ((r - keep + rotation) % hi) })
+            .map(|r| {
+                if r < keep {
+                    r
+                } else {
+                    keep + ((r - keep + rotation) % hi)
+                }
+            })
             .collect(),
     );
 }
@@ -58,7 +64,11 @@ pub fn backprop() -> Kernel {
     // Phase 2: momentum/bias computation over the full register set.
     b = b.reg_window(2, u16::MAX);
     let p2 = b.here();
-    b = b.ffma(6).sfu(1).st_global(GlobalPattern::Stream).loop_back(p2, 4);
+    b = b
+        .ffma(6)
+        .sfu(1)
+        .st_global(GlobalPattern::Stream)
+        .loop_back(p2, 4);
     let mut k = b.build();
     scramble_decls(&mut k, 12, 4);
     k
@@ -77,7 +87,13 @@ pub fn btree() -> Kernel {
         .reg_window(0, 2);
     // Phase 1: node walk — pointer chasing lives entirely in two registers.
     let p1 = b.here();
-    b = b.ld_global(GlobalPattern::Scatter { span_lines: 96, txns: 2 }).ialu(6).loop_back(p1, 12);
+    b = b
+        .ld_global(GlobalPattern::Scatter {
+            span_lines: 96,
+            txns: 2,
+        })
+        .ialu(6)
+        .loop_back(p1, 12);
     // Phase 2: range collection over the full register set.
     b = b.reg_window(2, u16::MAX);
     let p2 = b.here();
@@ -168,7 +184,10 @@ pub fn mum() -> Kernel {
     // is exactly the traffic the Dyn throttle moderates.
     let p1 = b.here();
     b = b
-        .ld_global(GlobalPattern::Scatter { span_lines: 512, txns: 2 })
+        .ld_global(GlobalPattern::Scatter {
+            span_lines: 512,
+            txns: 2,
+        })
         .ialu(5)
         .ld_global(GlobalPattern::BlockTile { tile_lines: 16 })
         .ialu(2)
@@ -225,7 +244,10 @@ pub fn sgemm() -> Kernel {
     // them are displaced by the scramble and recovered by the reorder pass.
     b = b.ld_global(GlobalPattern::BlockTile { tile_lines: 8 });
     let p1 = b.here();
-    b = b.ffma(4).ld_global(GlobalPattern::BlockTile { tile_lines: 8 }).loop_back(p1, 8);
+    b = b
+        .ffma(4)
+        .ld_global(GlobalPattern::BlockTile { tile_lines: 8 })
+        .loop_back(p1, 8);
     // Phase 2: the accumulator-rich rank-1 updates (the Fig. 7 code).
     b = b.reg_window(2, u16::MAX);
     let p2 = b.here();
@@ -255,8 +277,16 @@ pub fn stencil() -> Kernel {
     // Phase 1: the plane sweep runs in the low registers.
     let outer = b.here();
     let inner = b.here();
-    b = b.ld_global(GlobalPattern::Stream).sfu(1).ffma(3).ialu_independent(4).loop_back(inner, 3);
-    b = b.barrier().st_global(GlobalPattern::Stream).loop_back(outer, 3);
+    b = b
+        .ld_global(GlobalPattern::Stream)
+        .sfu(1)
+        .ffma(3)
+        .ialu_independent(4)
+        .loop_back(inner, 3);
+    b = b
+        .barrier()
+        .st_global(GlobalPattern::Stream)
+        .loop_back(outer, 3);
     // Phase 2: boundary handling over the full register set.
     b = b.reg_window(2, u16::MAX);
     let p2 = b.here();
@@ -274,7 +304,16 @@ mod tests {
     use grs_isa::validate;
 
     fn all() -> Vec<Kernel> {
-        vec![backprop(), btree(), hotspot(), lib(), mum(), mri_q(), sgemm(), stencil()]
+        vec![
+            backprop(),
+            btree(),
+            hotspot(),
+            lib(),
+            mum(),
+            mri_q(),
+            sgemm(),
+            stencil(),
+        ]
     }
 
     #[test]

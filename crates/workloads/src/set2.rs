@@ -111,7 +111,11 @@ pub fn nw1() -> Kernel {
     for seg in 0..8u32 {
         let off = seg * 24;
         let top = b.here();
-        b = b.ld_shared(off, 96).ialu(3).st_shared(off, 64).loop_back(top, 3);
+        b = b
+            .ld_shared(off, 96)
+            .ialu(3)
+            .st_shared(off, 64)
+            .loop_back(top, 3);
     }
     b = b.barrier().st_global(GlobalPattern::Stream);
     b.build()
@@ -132,7 +136,11 @@ pub fn nw2() -> Kernel {
         // segment 4, earlier than NW1's segment 6.
         let off = seg * 40;
         let top = b.here();
-        b = b.ld_shared(off, 96).ialu(3).st_shared(off, 64).loop_back(top, 3);
+        b = b
+            .ld_shared(off, 96)
+            .ialu(3)
+            .st_shared(off, 64)
+            .loop_back(top, 3);
     }
     b = b.barrier().st_global(GlobalPattern::Stream);
     b.build()
@@ -150,13 +158,25 @@ pub fn srad1() -> Kernel {
         .grid_blocks(GRID);
     // Staging phase: private at every threshold ≥ 10%.
     let stage = b.here();
-    b = b.ld_global(GlobalPattern::Stream).st_shared(0, 512).loop_back(stage, 3);
+    b = b
+        .ld_global(GlobalPattern::Stream)
+        .st_shared(0, 512)
+        .loop_back(stage, 3);
     b = b.barrier();
     let p1 = b.here();
-    b = b.ld_shared(0, 512).ffma(2).ialu_independent(8).loop_back(p1, 8);
+    b = b
+        .ld_shared(0, 512)
+        .ffma(2)
+        .ialu_independent(8)
+        .loop_back(p1, 8);
     // Deep phase: offsets 2048.. are shared for t ≤ 0.5 but private at 50%.
     let p2 = b.here();
-    b = b.ld_shared(2048, 512).ffma(1).ialu_independent(4).st_global(GlobalPattern::Stream).loop_back(p2, 12);
+    b = b
+        .ld_shared(2048, 512)
+        .ffma(1)
+        .ialu_independent(4)
+        .st_global(GlobalPattern::Stream)
+        .loop_back(p2, 12);
     b.build()
 }
 
@@ -243,7 +263,11 @@ mod tests {
         let sm = GpuConfig::paper_baseline().sm;
         for k in all() {
             let occ = occupancy(&sm, &KernelFootprint::of(&k));
-            assert_eq!(occ.blocks, occ.smem_limit, "{} should be scratchpad-limited", k.name);
+            assert_eq!(
+                occ.blocks, occ.smem_limit,
+                "{} should be scratchpad-limited",
+                k.name
+            );
         }
     }
 
@@ -255,7 +279,11 @@ mod tests {
         let boundary = (0.1 * f64::from(k.smem_per_block)).floor() as u32; // 720
         for i in &k.program.instrs {
             if let grs_isa::Op::LdShared(p) | grs_isa::Op::StShared(p) = i.op {
-                assert!(p.max_byte() < boundary, "access at {} crosses {boundary}", p.max_byte());
+                assert!(
+                    p.max_byte() < boundary,
+                    "access at {} crosses {boundary}",
+                    p.max_byte()
+                );
             }
         }
     }
@@ -277,7 +305,11 @@ mod tests {
                     }
                 }
             }
-            assert!(private > 0 && shared > 0, "{}: private={private} shared={shared}", k.name);
+            assert!(
+                private > 0 && shared > 0,
+                "{}: private={private} shared={shared}",
+                k.name
+            );
             // The first scratchpad access must be private (prefix progress).
             let first = k
                 .program
@@ -288,7 +320,11 @@ mod tests {
                     _ => None,
                 })
                 .unwrap();
-            assert!(first.max_byte() < boundary, "{}: first access is shared", k.name);
+            assert!(
+                first.max_byte() < boundary,
+                "{}: first access is shared",
+                k.name
+            );
         }
     }
 
@@ -306,6 +342,9 @@ mod tests {
             };
             shared && matches!(w[1].op, grs_isa::Op::Barrier)
         });
-        assert!(found, "SRAD2 model must have barrier next to a shared scratchpad access");
+        assert!(
+            found,
+            "SRAD2 model must have barrier next to a shared scratchpad access"
+        );
     }
 }

@@ -42,9 +42,15 @@ pub fn bfs() -> Kernel {
         .grid_blocks(GRID / 2);
     let top = b.here();
     b = b
-        .ld_global(GlobalPattern::Scatter { span_lines: 1024, txns: 2 })
+        .ld_global(GlobalPattern::Scatter {
+            span_lines: 1024,
+            txns: 2,
+        })
         .ialu(4)
-        .st_global(GlobalPattern::Scatter { span_lines: 1024, txns: 1 })
+        .st_global(GlobalPattern::Scatter {
+            span_lines: 1024,
+            txns: 1,
+        })
         .loop_back(top, 16);
     b.build()
 }
@@ -126,8 +132,12 @@ mod tests {
         let sm = GpuConfig::paper_baseline().sm;
         for k in all() {
             for res in [ResourceKind::Registers, ResourceKind::Scratchpad] {
-                let plan =
-                    compute_launch_plan(&sm, &KernelFootprint::of(&k), Threshold::paper_default(), res);
+                let plan = compute_launch_plan(
+                    &sm,
+                    &KernelFootprint::of(&k),
+                    Threshold::paper_default(),
+                    res,
+                );
                 assert!(plan.is_degenerate(), "{} {res}: {plan:?}", k.name);
                 assert_eq!(plan.max_blocks, plan.baseline_blocks, "{}", k.name);
             }

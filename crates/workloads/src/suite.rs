@@ -30,8 +30,9 @@ pub fn set1_benchmarks() -> Vec<Kernel> {
 }
 
 /// Short display names for Set-1, matching the paper's x-axis labels.
-pub const SET1_NAMES: [&str; 8] =
-    ["backprop", "b+tree", "hotspot", "LIB", "MUM", "mri-q", "sgemm", "stencil"];
+pub const SET1_NAMES: [&str; 8] = [
+    "backprop", "b+tree", "hotspot", "LIB", "MUM", "mri-q", "sgemm", "stencil",
+];
 
 /// Set-2 benchmarks in the paper's figure order.
 pub fn set2_benchmarks() -> Vec<Kernel> {
@@ -51,7 +52,12 @@ pub const SET2_NAMES: [&str; 7] = ["CONV1", "CONV2", "lavaMD", "NW1", "NW2", "SR
 
 /// Set-3 benchmarks in the paper's figure order.
 pub fn set3_benchmarks() -> Vec<Kernel> {
-    vec![set3::backprop_layerforward(), set3::bfs(), set3::gaussian(), set3::nn()]
+    vec![
+        set3::backprop_layerforward(),
+        set3::bfs(),
+        set3::gaussian(),
+        set3::nn(),
+    ]
 }
 
 /// Short display names for Set-3.
@@ -110,7 +116,11 @@ mod tests {
 
     #[test]
     fn lookup_by_name() {
-        for name in SET1_NAMES.iter().chain(&SET2_NAMES).chain(&["bfs", "gaussian", "nn"]) {
+        for name in SET1_NAMES
+            .iter()
+            .chain(&SET2_NAMES)
+            .chain(&["bfs", "gaussian", "nn"])
+        {
             assert!(benchmark(name).is_some(), "{name}");
         }
         assert!(benchmark("backprop-lf").is_some());
@@ -119,7 +129,10 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<String> = all_benchmarks().iter().map(|(_, k)| k.name.clone()).collect();
+        let mut names: Vec<String> = all_benchmarks()
+            .iter()
+            .map(|(_, k)| k.name.clone())
+            .collect();
         names.sort();
         names.dedup();
         assert_eq!(names.len(), 19);

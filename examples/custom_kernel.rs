@@ -16,7 +16,10 @@ fn main() {
         .grid_blocks(168)
         .reg_window(0, 2);
     let top = b.here();
-    b = b.ld_global(GlobalPattern::Stream).ffma(6).loop_back(top, 16);
+    b = b
+        .ld_global(GlobalPattern::Stream)
+        .ffma(6)
+        .loop_back(top, 16);
     b = b.reg_window(2, u16::MAX);
     let tail = b.here();
     b = b.ffma(8).sfu(1).loop_back(tail, 4);
@@ -32,7 +35,10 @@ fn main() {
     let before = instrs_before_shared_access(&kernel, 4);
     let report = reorder_declarations(&mut kernel);
     let after = instrs_before_shared_access(&kernel, 4);
-    println!("reorder pass: changed={} (prefix {before} -> {after} instructions)", report.changed);
+    println!(
+        "reorder pass: changed={} (prefix {before} -> {after} instructions)",
+        report.changed
+    );
 
     let base = Simulator::new(RunConfig::baseline_lrr()).run(&kernel);
     let shared = Simulator::new(RunConfig::paper_register_sharing()).run(&kernel);

@@ -15,7 +15,11 @@ fn main() {
     );
     for threads in [64u32, 128, 256, 512] {
         for regs in [16u32, 24, 36, 48] {
-            let fp = KernelFootprint { threads_per_block: threads, regs_per_thread: regs, smem_per_block: 0 };
+            let fp = KernelFootprint {
+                threads_per_block: threads,
+                regs_per_thread: regs,
+                smem_per_block: 0,
+            };
             let occ = occupancy(&sm, &fp);
             let plan = compute_launch_plan(&sm, &fp, t, ResourceKind::Registers);
             println!(
@@ -32,7 +36,11 @@ fn main() {
     }
     println!("\nScratchpad-limited kernels (128 threads, 16 regs):");
     for smem in [2560u32, 4096, 5184, 6144, 7200] {
-        let fp = KernelFootprint { threads_per_block: 128, regs_per_thread: 16, smem_per_block: smem };
+        let fp = KernelFootprint {
+            threads_per_block: 128,
+            regs_per_thread: 16,
+            smem_per_block: smem,
+        };
         let occ = occupancy(&sm, &fp);
         let plan = compute_launch_plan(&sm, &fp, t, ResourceKind::Scratchpad);
         println!(

@@ -16,11 +16,23 @@ fn main() {
 
     let fp = KernelFootprint::of(&kernel);
     let occ = occupancy(&cfg.sm, &fp);
-    println!("baseline occupancy : {} blocks (limited by {})", occ.blocks, occ.limiting);
-    println!("wasted registers   : {} ({:.1}%)", occ.wasted_registers, occ.register_waste_pct(&cfg.sm));
+    println!(
+        "baseline occupancy : {} blocks (limited by {})",
+        occ.blocks, occ.limiting
+    );
+    println!(
+        "wasted registers   : {} ({:.1}%)",
+        occ.wasted_registers,
+        occ.register_waste_pct(&cfg.sm)
+    );
 
     // Register sharing at the paper's default threshold t = 0.1 (90%).
-    let plan = compute_launch_plan(&cfg.sm, &fp, Threshold::paper_default(), ResourceKind::Registers);
+    let plan = compute_launch_plan(
+        &cfg.sm,
+        &fp,
+        Threshold::paper_default(),
+        ResourceKind::Registers,
+    );
     println!(
         "sharing launch plan: {} unshared + {} pairs = {} resident blocks",
         plan.unshared, plan.shared_pairs, plan.max_blocks
@@ -31,5 +43,8 @@ fn main() {
     let shared = Simulator::new(RunConfig::paper_register_sharing()).run(&kernel);
     println!("Unshared-LRR          : IPC {:.1}", base.ipc());
     println!("Shared-OWF-Unroll-Dyn : IPC {:.1}", shared.ipc());
-    println!("improvement           : {:+.2}%", shared.ipc_improvement_pct(&base));
+    println!(
+        "improvement           : {:+.2}%",
+        shared.ipc_improvement_pct(&base)
+    );
 }

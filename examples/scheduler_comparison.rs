@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example scheduler_comparison`
 
-use gpu_resource_sharing::prelude::*;
 use gpu_resource_sharing::core::SchedulerKind;
+use gpu_resource_sharing::prelude::*;
 
 fn main() {
     let kernels = [

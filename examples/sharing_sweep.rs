@@ -6,7 +6,9 @@
 use gpu_resource_sharing::prelude::*;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "lavamd".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "lavamd".to_string());
     let Some(mut kernel) = workloads::benchmark(&name) else {
         eprintln!("unknown benchmark {name}; try hotspot, lavamd, sgemm, conv1 ...");
         std::process::exit(2);
@@ -28,6 +30,12 @@ fn main() {
         let cfg = base_cfg.clone().with_threshold(t);
         let plan = Simulator::new(cfg.clone()).plan_for(&kernel);
         let stats = Simulator::new(cfg).run(&kernel);
-        println!("{:>7.0}% {:>8.2} {:>8} {:>8.1}", pct, t.t(), plan.max_blocks, stats.ipc());
+        println!(
+            "{:>7.0}% {:>8.2} {:>8} {:>8.1}",
+            pct,
+            t.t(),
+            plan.max_blocks,
+            stats.ipc()
+        );
     }
 }

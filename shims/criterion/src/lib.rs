@@ -1,0 +1,206 @@
+//! Offline minimal stand-in for the `criterion` benchmark harness (see
+//! `shims/README.md`).
+//!
+//! Provides the API surface the workspace's nine benches use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter`, `Throughput`, and the
+//! `criterion_group!`/`criterion_main!` macros — with two execution modes:
+//!
+//! * **`--test`** (what `cargo bench -- --test` passes, and what CI runs):
+//!   every benchmark closure executes exactly once, unmeasured, proving the
+//!   bench compiles and runs.
+//! * default: each benchmark runs `sample_size` measured iterations after
+//!   one warm-up iteration and prints mean wall time per iteration (plus
+//!   element throughput when configured). No statistics, no HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Measurement throughput annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` for the configured number of iterations, timing the batch.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    /// Reads the process arguments the way real criterion does: `--test`
+    /// selects single-iteration smoke mode. Cargo's own `--bench` flag and
+    /// filter arguments are accepted and ignored.
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately execute one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&id, self.test_mode, self.sample_size, None, f);
+        self
+    }
+
+    /// Open a named group sharing sample-size/throughput settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+}
+
+/// Group of related benchmarks (`Criterion::benchmark_group`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set measured iterations per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Register and immediately execute one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_bench(&id, self.criterion.test_mode, samples, self.throughput, f);
+        self
+    }
+
+    /// Close the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    id: &str,
+    test_mode: bool,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("Testing {id}: Success");
+        return;
+    }
+    // One warm-up iteration, then the measured batch.
+    let mut warmup = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warmup);
+    let mut b = Bencher {
+        iters: samples as u64,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let per_iter = b.elapsed.as_secs_f64() / samples as f64;
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+            println!(
+                "{id}: {:.3} ms/iter ({:.3} Melem/s, {samples} iters)",
+                per_iter * 1e3,
+                n as f64 / per_iter / 1e6
+            );
+        }
+        Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+            println!(
+                "{id}: {:.3} ms/iter ({:.3} MiB/s, {samples} iters)",
+                per_iter * 1e3,
+                n as f64 / per_iter / (1024.0 * 1024.0)
+            );
+        }
+        _ => println!("{id}: {:.3} ms/iter ({samples} iters)", per_iter * 1e3),
+    }
+}
+
+/// Mirrors `criterion_group!`: defines a function running each target
+/// against one `Criterion` instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`: the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bencher_runs_requested_iterations() {
+        let mut count = 0u64;
+        let mut b = super::Bencher {
+            iters: 7,
+            elapsed: std::time::Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 7);
+    }
+}

@@ -1,0 +1,25 @@
+//! `any::<T>()` — canonical strategies for plain types.
+
+use crate::strategy::Strategy;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (proptest's `any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+impl Arbitrary for bool {
+    type Strategy = crate::bool::BoolAny;
+
+    fn arbitrary() -> Self::Strategy {
+        crate::bool::ANY
+    }
+}

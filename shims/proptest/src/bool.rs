@@ -1,0 +1,19 @@
+//! Boolean strategies (`proptest::bool::ANY`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Fair-coin strategy over `bool`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn sample(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The canonical boolean strategy.
+pub const ANY: BoolAny = BoolAny;

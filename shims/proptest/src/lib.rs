@@ -1,0 +1,90 @@
+//! Offline deterministic stand-in for the `proptest` crate (see
+//! `shims/README.md`).
+//!
+//! Implements the subset of the proptest API this workspace's property tests
+//! use: range/tuple/`Just`/`prop_oneof!`/`collection::vec` strategies, the
+//! `proptest!` test macro with `#![proptest_config(..)]` support, and the
+//! `prop_assert*!` macros. Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case prints its seed and input; pin the
+//!   seed in `proptest-regressions/<file>.txt` to make it a permanent
+//!   regression test.
+//! * **Fully deterministic.** The RNG seed for every case derives from the
+//!   test function's name and the case index, so runs are bit-for-bit
+//!   reproducible across machines — no OS entropy is ever consumed.
+//! * `prop_assert!`/`prop_assert_eq!` panic immediately instead of
+//!   returning `TestCaseError`.
+
+pub mod arbitrary;
+pub mod bool;
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+/// Defines property tests. Mirrors proptest's macro shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(24))]
+///     #[test]
+///     fn my_property(x in 0u32..100, flag in any::<bool>()) {
+///         prop_assert!(x < 100 || flag);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(config);
+                let strategy = ($($strat,)+);
+                runner.run_named(stringify!($name), file!(), &strategy, |($($arg,)+)| $body);
+            }
+        )*
+    };
+}
+
+/// Panicking equivalent of proptest's `prop_assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Panicking equivalent of proptest's `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Panicking equivalent of proptest's `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies that produce the same value type.
+/// (Real proptest supports weighted arms; the workspace only uses the
+/// unweighted form.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,215 @@
+//! Strategies: composable random-value generators.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use crate::test_runner::TestRng;
+
+/// A generator of values of type [`Strategy::Value`]. The shim keeps only
+/// the sampling half of proptest's `Strategy` (no value trees / shrinking).
+pub trait Strategy {
+    /// Type of values produced. `Debug` so failing inputs can be reported.
+    type Value: Debug;
+
+    /// Draw one value from `rng`.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map produced values through `f` (proptest's `prop_map`).
+    fn prop_map<U: Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase into a [`BoxedStrategy`] (for heterogeneous `prop_oneof!`
+    /// arms).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn sample(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Type-erased, reference-counted strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among same-typed strategies (`prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union; `arms` must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.next_below(self.arms.len() as u64) as usize;
+        self.arms[idx].sample(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u64;
+                    self.start + rng.next_below(span) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range strategy");
+                    // Whole-domain u64 ranges would overflow the span; the
+                    // shim supports spans up to u64::MAX - 1, ample here.
+                    let span = (end - start) as u64 + 1;
+                    start + rng.next_below(span) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($( ( $($S:ident => $idx:tt),+ ) ),+ $(,)?) => {
+        $(
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy!(
+    (A => 0),
+    (A => 0, B => 1),
+    (A => 0, B => 1, C => 2),
+    (A => 0, B => 1, C => 2, D => 3),
+    (A => 0, B => 1, C => 2, D => 3, E => 4),
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5),
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6),
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7),
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8),
+    (A => 0, B => 1, C => 2, D => 3, E => 4, F => 5, G => 6, H => 7, I => 8, J => 9),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = (3u32..17).sample(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (5u16..=5).sample(&mut rng);
+            assert_eq!(w, 5);
+            let f = (0.25f64..=0.75).sample(&mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let mut rng = TestRng::new(7);
+        let s = crate::prop_oneof![(0u32..4).prop_map(|x| x * 10), Just(99u32),];
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!(v == 99 || v % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic() {
+        let s = (0u64..1000, 0.0f64..=1.0, 0u8..=255);
+        let a: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..50).map(|_| s.sample(&mut rng)).collect()
+        };
+        let b: Vec<_> = {
+            let mut rng = TestRng::new(42);
+            (0..50).map(|_| s.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

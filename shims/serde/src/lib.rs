@@ -1,0 +1,16 @@
+//! Offline stand-in for the `serde` facade (see `shims/README.md`).
+//!
+//! Mirrors the real crate's import surface — `use serde::{Deserialize,
+//! Serialize}` resolves to the derive macros in the macro namespace and to
+//! the (empty) traits below in the type namespace — so workspace sources are
+//! byte-identical to what they would be against real serde. The derives
+//! generate no impls; nothing in the workspace serializes yet.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`. The no-op derive does not
+/// implement it; it exists so `T: Serialize` bounds are writable.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

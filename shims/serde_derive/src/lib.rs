@@ -1,0 +1,18 @@
+//! No-op derive macros standing in for `serde_derive` (offline build; see
+//! `shims/README.md`). `#[derive(Serialize, Deserialize)]` attributes across
+//! the workspace expand to nothing: no impls are generated, and nothing in
+//! the workspace consumes the serde traits yet.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` site.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` site.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,8 +1,8 @@
 //! Cross-crate integration tests: end-to-end properties the paper's
 //! evaluation relies on.
 
-use gpu_resource_sharing::prelude::*;
 use gpu_resource_sharing::core::SchedulerKind;
+use gpu_resource_sharing::prelude::*;
 
 fn small(mut k: gpu_resource_sharing::isa::Kernel) -> gpu_resource_sharing::isa::Kernel {
     k.grid_blocks = 56;
@@ -36,7 +36,11 @@ fn every_benchmark_completes_under_every_headline_config() {
         ];
         for cfg in cfgs {
             let stats = Simulator::new(cfg.clone()).run(&k);
-            assert!(!stats.timed_out, "{:?} {} timed out under {:?}", set, k.name, cfg.scheduler);
+            assert!(
+                !stats.timed_out,
+                "{:?} {} timed out under {:?}",
+                set, k.name, cfg.scheduler
+            );
             assert_eq!(
                 stats.blocks_completed,
                 u64::from(k.grid_blocks),
@@ -47,8 +51,7 @@ fn every_benchmark_completes_under_every_headline_config() {
             // Every dynamic instruction issues exactly once.
             assert_eq!(
                 stats.thread_instrs,
-                k.total_thread_instrs()
-                    - missing_threads_correction(&k),
+                k.total_thread_instrs() - missing_threads_correction(&k),
                 "{} instruction count mismatch",
                 k.name
             );
@@ -105,11 +108,22 @@ fn owf_degenerates_to_gto_without_sharing() {
 #[test]
 fn sharing_never_reduces_resident_blocks() {
     for (_, k) in workloads::all_benchmarks() {
-        for cfg in [RunConfig::paper_register_sharing(), RunConfig::paper_scratchpad_sharing()] {
+        for cfg in [
+            RunConfig::paper_register_sharing(),
+            RunConfig::paper_scratchpad_sharing(),
+        ] {
             let sim = Simulator::new(cfg);
             let plan = sim.plan_for(&k);
-            assert!(plan.max_blocks >= plan.baseline_blocks, "{}: {plan:?}", k.name);
-            assert!(plan.effective_blocks() >= plan.baseline_blocks, "{}: {plan:?}", k.name);
+            assert!(
+                plan.max_blocks >= plan.baseline_blocks,
+                "{}: {plan:?}",
+                k.name
+            );
+            assert!(
+                plan.effective_blocks() >= plan.baseline_blocks,
+                "{}: {plan:?}",
+                k.name
+            );
         }
     }
 }

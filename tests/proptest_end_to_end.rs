@@ -2,8 +2,8 @@
 //! complete them deterministically, retire exactly the grid's dynamic
 //! instruction count, and never deadlock under any sharing configuration.
 
-use gpu_resource_sharing::prelude::*;
 use gpu_resource_sharing::isa::GlobalPattern as GP;
+use gpu_resource_sharing::prelude::*;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -21,13 +21,13 @@ struct KernelSpec {
 
 fn spec() -> impl Strategy<Value = KernelSpec> {
     (
-        1u32..=4,       // threads = 32 << n
-        4u32..=48,      // regs/thread
-        0u32..=6000,    // smem/block
-        1u32..=40,      // grid blocks
-        1u32..=8,       // alu per iteration
-        0u8..=3,        // memory pattern
-        0u16..=12,      // loop trips
+        1u32..=4,    // threads = 32 << n
+        4u32..=48,   // regs/thread
+        0u32..=6000, // smem/block
+        1u32..=40,   // grid blocks
+        1u32..=8,    // alu per iteration
+        0u8..=3,     // memory pattern
+        0u16..=12,   // loop trips
         proptest::bool::ANY,
         0u32..=512,
     )
@@ -56,13 +56,18 @@ fn build(s: &KernelSpec) -> gpu_resource_sharing::isa::Kernel {
     b = match s.mem_kind {
         0 => b.ld_global(GP::Stream),
         1 => b.ld_global(GP::BlockTile { tile_lines: 16 }),
-        2 => b.ld_global(GP::Scatter { span_lines: 64, txns: 2 }),
+        2 => b.ld_global(GP::Scatter {
+            span_lines: 64,
+            txns: 2,
+        }),
         _ => b.ld_global(GP::KernelTile { tile_lines: 16 }),
     };
     b = b.ialu(s.alu).ffma(2);
     if s.smem > 64 {
         let bytes = s.smem_bytes_touched.min(s.smem / 2).max(4);
-        b = b.st_shared(0, bytes).ld_shared(s.smem / 2, bytes.min(s.smem - s.smem / 2));
+        b = b
+            .st_shared(0, bytes)
+            .ld_shared(s.smem / 2, bytes.min(s.smem - s.smem / 2));
     }
     if s.barrier {
         b = b.barrier();
