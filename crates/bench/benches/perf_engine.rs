@@ -1,0 +1,29 @@
+//! Simulator-engine throughput: the event-driven fast-forward path against
+//! the per-cycle reference loop on the memory-latency-bound Set-2 scenario
+//! of `grs_bench::perf` (not a paper artifact; guards the engine's speedup
+//! and, under `-- --test`, its liveness in CI). `repro perf` runs the same
+//! scenario standalone and records the numbers in `BENCH_pr2.json`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grs_bench::perf;
+use grs_sim::Simulator;
+
+fn bench(c: &mut Criterion) {
+    let kernel = perf::scenario_kernel();
+    let cfg = perf::scenario_config();
+    let cycles = Simulator::new(cfg.clone()).run(&kernel).cycles;
+
+    let mut g = c.benchmark_group("perf_engine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(cycles));
+    for (name, ff) in [("fast-forward", true), ("reference", false)] {
+        let sim = Simulator::new(cfg.clone().with_fast_forward(ff));
+        g.bench_function(format!("conv1-28-dram1600/{name}"), |b| {
+            b.iter(|| sim.run(&kernel))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,6 +6,7 @@
 //! reports so that EXPERIMENTS.md can record paper-vs-measured side by side.
 
 pub mod experiments;
+pub mod perf;
 pub mod runner;
 
 pub use runner::{run_all, Job};

@@ -15,12 +15,14 @@
 //!   fig12    Fig. 12 Set-3 policy equivalences
 //!   table5   Table V/VI  IPC and blocks vs %register sharing
 //!   table7   Table VII/VIII IPC and blocks vs %scratchpad sharing
-//!   all      everything above
+//!   perf     simulator-engine throughput (fast-forward vs reference);
+//!            writes BENCH_pr2.json (not a paper artifact)
+//!   all      every paper artifact above (perf runs only when asked)
 //! ```
 //!
 //! `--quick` divides grid sizes by 4 for fast smoke runs.
 
-use grs_bench::experiments;
+use grs_bench::{experiments, perf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -43,6 +45,10 @@ fn main() {
         "fig12" => experiments::fig12(quick),
         "table5" => experiments::table5(quick),
         "table7" => experiments::table7(quick),
+        "perf" => {
+            let reps = if quick { 3 } else { 20 };
+            perf::write_report(reps).expect("writing BENCH_pr2.json failed");
+        }
         other => {
             if let Some(bench) = other.strip_prefix("inspect=") {
                 experiments::inspect(bench, quick);

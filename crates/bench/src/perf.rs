@@ -1,0 +1,192 @@
+//! Simulator-engine performance scenario: fast-forward vs reference.
+//!
+//! The scenario is a **memory-latency-bound** Set-2 kernel: `CONV1`
+//! (convolutionSeparable rows pass, Table III) at one resident wave
+//! (28 blocks = 2 per SM on the Table I machine) with the DRAM round-trip
+//! raised to 1600 shader cycles. The stock model's 280-cycle constant is an
+//! *unloaded* latency; under the contention the paper's Set-2 sweeps create,
+//! Fermi-class simulators report loaded round-trips well past a thousand
+//! cycles, and our bandwidth-server queueing model only captures part of
+//! that. Raising the constant stands in for a loaded memory system and puts
+//! the simulator in the regime the fast-forward engine targets: >95% of
+//! SM-cycles are dead waits between writeback drains.
+//!
+//! [`measure`] times both engine modes over several repetitions and
+//! [`write_report`] emits `BENCH_pr2.json` (used by `repro perf`); the
+//! criterion bench `perf_engine` wraps the same scenario.
+
+use std::time::Instant;
+
+use grs_isa::Kernel;
+use grs_sim::{RunConfig, Simulator};
+
+/// One timed engine comparison.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Scenario label.
+    pub name: String,
+    /// Simulated cycles per run (identical in both modes by construction).
+    pub cycles: u64,
+    /// Best-of-reps wall seconds, fast-forward on.
+    pub fast_s: f64,
+    /// Best-of-reps wall seconds, fast-forward off (per-cycle reference).
+    pub reference_s: f64,
+}
+
+impl Measurement {
+    /// Simulated cycles per wall-second, fast-forward on.
+    pub fn fast_cps(&self) -> f64 {
+        self.cycles as f64 / self.fast_s
+    }
+
+    /// Simulated cycles per wall-second, reference loop.
+    pub fn reference_cps(&self) -> f64 {
+        self.cycles as f64 / self.reference_s
+    }
+
+    /// Wall-clock speedup of fast-forward over the reference.
+    pub fn speedup(&self) -> f64 {
+        self.reference_s / self.fast_s
+    }
+}
+
+/// The primary bench kernel: Set-2 CONV1 at one resident wave.
+pub fn scenario_kernel() -> Kernel {
+    let mut k = grs_workloads::set2::conv1();
+    k.grid_blocks = 28;
+    k
+}
+
+/// The primary bench machine: Table I with a loaded-memory DRAM round-trip.
+pub fn scenario_config() -> RunConfig {
+    let mut cfg = RunConfig::baseline_lrr();
+    cfg.gpu.mem.dram_latency = 1600;
+    cfg
+}
+
+/// Time `kernel` under `cfg` with the engine on and off; wall time is the
+/// best of `reps` runs per mode (minimum, the standard noise rejector for
+/// deterministic workloads).
+pub fn measure(name: &str, kernel: &Kernel, cfg: &RunConfig, reps: u32) -> Measurement {
+    let mut walls = [f64::MAX; 2];
+    let mut cycles = [0u64; 2];
+    for (i, ff) in [true, false].into_iter().enumerate() {
+        let sim = Simulator::new(cfg.clone().with_fast_forward(ff));
+        for _ in 0..reps.max(1) {
+            let t = Instant::now();
+            let stats = sim.run(kernel);
+            walls[i] = walls[i].min(t.elapsed().as_secs_f64());
+            cycles[i] = stats.cycles;
+        }
+    }
+    assert_eq!(
+        cycles[0], cycles[1],
+        "fast-forward changed the simulated cycle count"
+    );
+    Measurement {
+        name: name.to_string(),
+        cycles: cycles[0],
+        fast_s: walls[0],
+        reference_s: walls[1],
+    }
+}
+
+/// Run the `repro perf` suite: the primary scenario plus two secondary
+/// points (stock latency, and the full default grid) for context. Returns
+/// the measurements in report order.
+pub fn run_suite(reps: u32) -> Vec<Measurement> {
+    let kernel = scenario_kernel();
+    let primary = scenario_config();
+    let stock = RunConfig::baseline_lrr();
+    let mut full_grid = grs_workloads::set2::conv1();
+    full_grid.grid_blocks = 168;
+    vec![
+        measure("conv1-28/dram1600", &kernel, &primary, reps),
+        measure("conv1-28/stock", &kernel, &stock, reps),
+        measure("conv1-168/dram1600", &full_grid, &primary, reps),
+    ]
+}
+
+/// Serialize measurements as the `BENCH_pr2.json` document. Hand-rolled
+/// JSON: the offline serde shim has no serializer.
+pub fn render_report(ms: &[Measurement]) -> String {
+    let mut s = String::from("{\n  \"bench\": \"perf_engine\",\n  \"primary\": \"conv1-28/dram1600\",\n  \"scenarios\": [\n");
+    for (i, m) in ms.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"fast_forward_s\": {:.6}, \"reference_s\": {:.6}, \"fast_forward_cycles_per_s\": {:.0}, \"reference_cycles_per_s\": {:.0}, \"speedup\": {:.2}}}{}\n",
+            m.name,
+            m.cycles,
+            m.fast_s,
+            m.reference_s,
+            m.fast_cps(),
+            m.reference_cps(),
+            m.speedup(),
+            if i + 1 == ms.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Execute the suite, print a table, and write `BENCH_pr2.json` into the
+/// current directory.
+pub fn write_report(reps: u32) -> std::io::Result<()> {
+    let ms = run_suite(reps);
+    println!(
+        "{:<22} {:>9} {:>10} {:>10} {:>12} {:>12} {:>8}",
+        "scenario", "cycles", "ff wall", "ref wall", "ff cyc/s", "ref cyc/s", "speedup"
+    );
+    for m in &ms {
+        println!(
+            "{:<22} {:>9} {:>9.4}s {:>9.4}s {:>12.0} {:>12.0} {:>7.2}x",
+            m.name,
+            m.cycles,
+            m.fast_s,
+            m.reference_s,
+            m.fast_cps(),
+            m.reference_cps(),
+            m.speedup()
+        );
+    }
+    std::fs::write("BENCH_pr2.json", render_report(&ms))?;
+    println!("wrote BENCH_pr2.json");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_is_memory_latency_bound() {
+        // The engine's target regime: the overwhelming majority of SM-cycles
+        // are idle latency waits, and none of them are stalls (stall cycles
+        // are never skippable, so a stall-heavy scenario would be a poor
+        // showcase and a dishonest benchmark).
+        let stats = Simulator::new(scenario_config()).run(&scenario_kernel());
+        let sm_cycles = stats.cycles * 14;
+        assert!(
+            stats.idle_cycles * 10 > sm_cycles * 9,
+            "idle {} of {sm_cycles}",
+            stats.idle_cycles
+        );
+        assert_eq!(stats.stall_cycles, 0);
+    }
+
+    #[test]
+    fn measurement_math_and_json_shape() {
+        let m = Measurement {
+            name: "x".into(),
+            cycles: 1000,
+            fast_s: 0.5,
+            reference_s: 2.0,
+        };
+        assert_eq!(m.fast_cps(), 2000.0);
+        assert_eq!(m.reference_cps(), 500.0);
+        assert_eq!(m.speedup(), 4.0);
+        let json = render_report(std::slice::from_ref(&m));
+        assert!(json.contains("\"bench\": \"perf_engine\""));
+        assert!(json.contains("\"speedup\": 4.00"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -2,10 +2,11 @@
 //!
 //! Individual simulations are strictly serial (cycle-accurate state), but
 //! experiments sweep many independent (configuration, kernel) pairs; those
-//! fan out over a `std::thread::scope` with an atomic work-stealing cursor.
+//! are split into contiguous chunks, one per worker thread on a
+//! `std::thread::scope`. Each worker owns its jobs outright and returns its
+//! chunk's results, which concatenate back in job order — no shared result
+//! slots, no locks, no cloning of job data.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::thread;
 
 use grs_isa::Kernel;
@@ -33,9 +34,13 @@ impl Job {
     }
 }
 
-/// Scale a kernel's grid down for `--quick` smoke runs (at least one wave).
+/// Scale a kernel's grid down for `--quick` smoke runs. The floor keeps at
+/// least one block wave (28 blocks on the Table I machine's 14 SMs × 2
+/// minimum residency) without ever *growing* a grid that was already
+/// smaller than that.
 pub fn shrink_grid(kernel: &mut Kernel, divisor: u32) {
-    kernel.grid_blocks = (kernel.grid_blocks / divisor).max(28);
+    let floor = kernel.grid_blocks.min(28);
+    kernel.grid_blocks = (kernel.grid_blocks / divisor.max(1)).max(floor);
 }
 
 /// Run every job, in parallel across available cores; results come back in
@@ -45,37 +50,37 @@ pub fn run_all(jobs: Vec<Job>) -> Vec<(String, SimStats)> {
     if n == 0 {
         return Vec::new();
     }
-    let cursor = AtomicUsize::new(0);
-    let results: Vec<Mutex<Option<(String, SimStats)>>> =
-        (0..n).map(|_| Mutex::new(None)).collect();
     let workers = thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(4)
         .min(n);
+    let chunk_size = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<Job>> = Vec::with_capacity(workers);
+    let mut rest = jobs;
+    while rest.len() > chunk_size {
+        let tail = rest.split_off(chunk_size);
+        chunks.push(std::mem::replace(&mut rest, tail));
+    }
+    chunks.push(rest);
 
     thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| loop {
-                let idx = cursor.fetch_add(1, Ordering::Relaxed);
-                if idx >= n {
-                    break;
-                }
-                let job = &jobs[idx];
-                let stats = Simulator::new(job.cfg.clone()).run(&job.kernel);
-                *results[idx].lock().expect("runner mutex poisoned") =
-                    Some((job.label.clone(), stats));
-            });
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                s.spawn(move || {
+                    chunk
+                        .into_iter()
+                        .map(|job| (job.label, Simulator::new(job.cfg).run(&job.kernel)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for h in handles {
+            out.extend(h.join().expect("runner worker panicked"));
         }
-    });
-
-    results
-        .into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("runner mutex poisoned")
-                .expect("job completed")
-        })
-        .collect()
+        out
+    })
 }
 
 #[cfg(test)]
@@ -136,8 +141,19 @@ mod tests {
         let mut k = KernelBuilder::new("k").grid_blocks(168).ialu(1).build();
         shrink_grid(&mut k, 4);
         assert_eq!(k.grid_blocks, 42);
+        // A big grid shrunk below one wave stops at the 28-block floor.
+        let mut big = KernelBuilder::new("b").grid_blocks(64).ialu(1).build();
+        shrink_grid(&mut big, 4);
+        assert_eq!(big.grid_blocks, 28);
+    }
+
+    #[test]
+    fn shrink_grid_never_grows_small_grids() {
         let mut tiny = KernelBuilder::new("t").grid_blocks(8).ialu(1).build();
         shrink_grid(&mut tiny, 4);
-        assert_eq!(tiny.grid_blocks, 28);
+        assert_eq!(tiny.grid_blocks, 8, "a quick run must not inflate work");
+        let mut one = KernelBuilder::new("o").grid_blocks(1).ialu(1).build();
+        shrink_grid(&mut one, 4);
+        assert_eq!(one.grid_blocks, 1);
     }
 }

@@ -23,6 +23,10 @@ pub struct DynThrottle {
     probs: Vec<f64>,
     window_stalls: Vec<u64>,
     rng_state: Vec<u64>,
+    /// Start of a pending idle span per SM: the cycle since which the SM has
+    /// been asleep in the fast-forward engine, accumulating one stall per
+    /// cycle that has not yet been added to `window_stalls`.
+    idle_since: Vec<Option<u64>>,
     period: u64,
     step: f64,
     next_deadline: u64,
@@ -58,6 +62,7 @@ impl DynThrottle {
             rng_state: (0..num_sms as u64)
                 .map(|i| 0x9E37_79B9_7F4A_7C15 ^ (i + 1))
                 .collect(),
+            idle_since: vec![None; num_sms],
             period,
             step,
             next_deadline: period,
@@ -112,6 +117,12 @@ impl DynThrottle {
             return;
         }
         self.next_deadline = cycle + self.period;
+        self.close_window();
+    }
+
+    /// Compare every SM's window stalls with SM0's, adjust probabilities,
+    /// and reset the window counters.
+    fn close_window(&mut self) {
         let reference = self.window_stalls.first().copied().unwrap_or(0);
         for sm in 1..self.probs.len() {
             if self.window_stalls[sm] > reference {
@@ -122,6 +133,49 @@ impl DynThrottle {
         }
         for w in &mut self.window_stalls {
             *w = 0;
+        }
+    }
+
+    /// Fast-forward support: `sm` goes to sleep starting at cycle `from`,
+    /// idle with live warps. While asleep it would call [`Self::note_stall`]
+    /// once per cycle; instead the span is credited lazily — per window by
+    /// [`Self::advance_to`], and on wake-up by [`Self::wake_sm`] — so window
+    /// comparisons see exactly the per-cycle counts.
+    pub fn sleep_sm(&mut self, sm: usize, from: u64) {
+        debug_assert!(self.idle_since[sm].is_none(), "SM {sm} already asleep");
+        self.idle_since[sm] = Some(from);
+    }
+
+    /// `sm` wakes at cycle `now` (it will be stepped normally this cycle):
+    /// credit the stalls of its sleeping span `[since, now)`.
+    pub fn wake_sm(&mut self, sm: usize, now: u64) {
+        if let Some(since) = self.idle_since[sm].take() {
+            debug_assert!(since <= now);
+            self.window_stalls[sm] += now - since;
+        }
+    }
+
+    /// Fire every window boundary up to and including `now`, crediting
+    /// sleeping SMs' idle stalls into each window first. Calling this once
+    /// per simulated-or-skipped-to cycle is exactly equivalent to the
+    /// per-cycle [`Self::note_stall`] + [`Self::on_cycle`] sequence of the
+    /// reference loop.
+    pub fn advance_to(&mut self, now: u64) {
+        if !self.enabled {
+            return;
+        }
+        while self.next_deadline <= now {
+            let d = self.next_deadline;
+            for (w, since) in self.window_stalls.iter_mut().zip(&mut self.idle_since) {
+                if let Some(s) = since {
+                    if *s <= d {
+                        *w += d - *s + 1;
+                        *since = Some(d + 1);
+                    }
+                }
+            }
+            self.next_deadline = d + self.period;
+            self.close_window();
         }
     }
 }
@@ -214,6 +268,63 @@ mod tests {
         }
         t.on_cycle(1000);
         assert_eq!(t.probability(1), 1.0);
+    }
+
+    #[test]
+    fn sleeping_spans_match_the_per_cycle_loop() {
+        // An SM that sleeps across a span (crediting stalls lazily via
+        // sleep_sm / advance_to / wake_sm) must leave the throttle in the
+        // same state as one stepped every cycle with note_stall + on_cycle.
+        // Spans straddle zero, one and several window boundaries.
+        for enabled in [true, false] {
+            for (from, to) in [
+                (5u64, 9u64),
+                (990, 1005),
+                (1000, 3001),
+                (2999, 3000),
+                (10, 4010),
+            ] {
+                let mut fast = DynThrottle::new(3, 1000, 0.1, enabled);
+                let mut slow = DynThrottle::new(3, 1000, 0.1, enabled);
+                // Shared prefix processed cycle by cycle, with uneven stall
+                // pressure so probabilities move.
+                for c in 0..from {
+                    for t in [&mut slow, &mut fast] {
+                        t.note_stall(1);
+                        t.on_cycle(c);
+                    }
+                }
+                // Reference: SMs 0 and 2 stall every cycle of the span.
+                for c in from..to {
+                    slow.note_stall(0);
+                    slow.note_stall(2);
+                    slow.on_cycle(c);
+                }
+                // Fast path: both sleep at `from`; SM2 wakes mid-span and
+                // stalls through the rest per-cycle, SM0 sleeps to the end.
+                let mid = from + (to - from) / 2;
+                fast.sleep_sm(0, from);
+                fast.sleep_sm(2, from);
+                fast.advance_to(mid.saturating_sub(1));
+                fast.wake_sm(2, mid);
+                for c in mid..to {
+                    fast.note_stall(2);
+                    fast.advance_to(c);
+                }
+                fast.wake_sm(0, to);
+                fast.advance_to(to - 1);
+                assert_eq!(fast.probs, slow.probs, "enabled={enabled} {from}..{to}");
+                assert_eq!(
+                    fast.window_stalls, slow.window_stalls,
+                    "enabled={enabled} {from}..{to}"
+                );
+                assert_eq!(
+                    fast.next_deadline, slow.next_deadline,
+                    "enabled={enabled} {from}..{to}"
+                );
+                assert_eq!(fast.rng_state, slow.rng_state);
+            }
+        }
     }
 
     #[test]

@@ -145,6 +145,26 @@ pub enum Scheduler {
 }
 
 impl Scheduler {
+    /// Per-cycle bookkeeping for a cycle in which the readiness scan found
+    /// no issuable warp: exactly the state transitions [`Self::pick`] would
+    /// make for every unit over an all-unready view, without the per-unit
+    /// view walks. Greedy policies (GTO, OWF) lose their streak — the
+    /// greedy warp stalled — while the rotation pointers of LRR and
+    /// Two-Level stay put, as `pick` only advances them on a successful
+    /// pick. Because a second ready-less cycle is a no-op for every policy,
+    /// the fast-forward engine can skip such cycles without touching
+    /// scheduler state at all.
+    pub fn note_idle_cycle(&mut self) {
+        match self {
+            Scheduler::Lrr { .. } | Scheduler::TwoLevel { .. } => {}
+            Scheduler::Gto { last } | Scheduler::Owf { last } => {
+                for l in last.iter_mut() {
+                    *l = None;
+                }
+            }
+        }
+    }
+
     /// Pick a warp for scheduler `unit` among `views` (the full SM view;
     /// the policy only considers slots with `slot % units == unit`). Returns
     /// the chosen slot. `views` must be sorted by `slot` (the simulator's
@@ -376,6 +396,49 @@ mod tests {
         // Group 0 wakes up but group 1 is active and still ready.
         views[0].ready = true;
         assert_eq!(s.pick(0, 1, &views), Some(2));
+    }
+
+    #[test]
+    fn note_idle_cycle_matches_pick_on_unready_views() {
+        // The fast-forward engine relies on two properties per policy:
+        // (1) one ready-less cycle leaves the same state as `pick` on an
+        //     all-unready view for every unit, and
+        // (2) further ready-less cycles are no-ops (so they can be skipped).
+        for kind in [
+            SchedulerKind::Lrr,
+            SchedulerKind::Gto,
+            SchedulerKind::TwoLevel { group_size: 2 },
+            SchedulerKind::Owf,
+        ] {
+            let mut via_pick = kind.build(4, 2);
+            let mut via_note = kind.build(4, 2);
+            // Build up some state with a ready phase.
+            let ready = all_unshared(&[true, true, true, true]);
+            for unit in 0..2 {
+                assert_eq!(
+                    via_pick.pick(unit, 2, &ready),
+                    via_note.pick(unit, 2, &ready)
+                );
+            }
+            // One all-unready cycle, both ways.
+            let unready = all_unshared(&[false, false, false, false]);
+            for unit in 0..2 {
+                assert_eq!(via_pick.pick(unit, 2, &unready), None);
+            }
+            via_note.note_idle_cycle();
+            // A second unready cycle must be a no-op.
+            for unit in 0..2 {
+                assert_eq!(via_pick.pick(unit, 2, &unready), None);
+            }
+            // Both must now behave identically on the next ready view.
+            for unit in 0..2 {
+                assert_eq!(
+                    via_pick.pick(unit, 2, &ready),
+                    via_note.pick(unit, 2, &ready),
+                    "{kind:?} diverged after an idle cycle"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,27 @@
 //! Whole-GPU orchestration: SM array, shared memory system, dispatcher,
-//! dynamic throttle, main cycle loop.
+//! dynamic throttle, main cycle loop with event-driven fast-forward.
+//!
+//! ## Fast-forward
+//!
+//! On memory-bound kernels most cycles are *dead* for most SMs: no ready
+//! warp, nothing blocked on a lock, a port or the throttle, and every state
+//! change until the next writeback drain is fully predetermined. An SM that
+//! reports such a quiescent cycle ([`crate::sm::StepOutcome`]) goes to
+//! *sleep* until its earliest pending writeback (its timing wheel's
+//! minimum): while asleep it cannot act (no ready warps, no issues, no
+//! memory traffic) and nothing external can change its readiness — other
+//! SMs interact only through the shared memory system (touched at issue
+//! time only) and the dispatcher (consulted only on block completion), and
+//! throttle-probability changes only matter to warps the scan classifies
+//! volatile, which a quiescent SM has none of. The run loop steps only the
+//! SMs whose wake-up cycle has arrived and jumps the clock to the next
+//! wake-up when every SM sleeps. Skipped spans are credited to the exact
+//! same per-SM `idle_cycles`/`empty_cycles` counters and throttle stall
+//! windows the per-cycle loop would have produced (see
+//! [`DynThrottle::sleep_sm`]), so [`crate::SimStats`] is bit-identical with
+//! the engine on or off. Stall cycles (locks, ports, throttle, MSHR
+//! backpressure) are never skippable by construction: any warp in such a
+//! state marks its SM's cycle non-quiescent.
 
 use grs_core::{DynThrottle, GpuConfig, LaunchPlan, ResourceKind, SchedulerKind};
 
@@ -7,7 +29,7 @@ use crate::cache::Cache;
 use crate::dispatch::Dispatcher;
 use crate::kinfo::KernelInfo;
 use crate::mem::SharedMem;
-use crate::sm::Sm;
+use crate::sm::{Sm, SmMode};
 use crate::stats::SimStats;
 
 /// A configured GPU mid-simulation.
@@ -22,10 +44,13 @@ pub struct Gpu {
     /// Grid dispatcher.
     pub dispatcher: Dispatcher,
     cfg: GpuConfig,
+    fast_forward: bool,
 }
 
 impl Gpu {
-    /// Build the machine for one run.
+    /// Build the machine for one run. `fast_forward` enables the
+    /// event-driven engine (results are identical either way; see the module
+    /// docs).
     pub fn new(
         cfg: &GpuConfig,
         kinfo: &KernelInfo,
@@ -33,6 +58,7 @@ impl Gpu {
         sched_kind: SchedulerKind,
         dyn_throttle: bool,
         sharing: Option<ResourceKind>,
+        fast_forward: bool,
     ) -> Self {
         let units = cfg.sm.schedulers as usize;
         let register_sharing = sharing == Some(ResourceKind::Registers);
@@ -43,7 +69,18 @@ impl Gpu {
                     cfg.mem.l1_ways,
                     u64::from(cfg.mem.line_bytes),
                 );
-                Sm::new(id, plan, kinfo, sched_kind, units, l1, register_sharing)
+                Sm::new(
+                    id,
+                    plan,
+                    kinfo,
+                    sched_kind,
+                    units,
+                    l1,
+                    SmMode {
+                        register_sharing,
+                        incremental: fast_forward,
+                    },
+                )
             })
             .collect();
         let throttle = if dyn_throttle && sharing.is_some() {
@@ -57,6 +94,7 @@ impl Gpu {
             throttle,
             dispatcher: Dispatcher::new(kinfo.kernel.grid_blocks),
             cfg: cfg.clone(),
+            fast_forward,
         }
     }
 
@@ -89,10 +127,29 @@ impl Gpu {
     pub fn run(&mut self, kinfo: &KernelInfo, max_cycles: u64) -> SimStats {
         self.initial_fill(kinfo);
         let lat = self.cfg.lat;
+        let n = self.sms.len();
+        // Per-SM wake-up cycle (u64::MAX: empty, nothing can ever wake it)
+        // and, for sleepers, the first slept cycle (for stats crediting).
+        let mut wake_at = vec![0u64; n];
+        let mut sleep_from: Vec<Option<u64>> = vec![None; n];
         let mut cycle = 0u64;
         while !self.finished() && cycle < max_cycles {
-            for sm in &mut self.sms {
-                sm.step(
+            if cycle > 0 {
+                // Window boundaries inside a fully-asleep span fire before
+                // the cycle that wakes an SM, exactly as the per-cycle loop
+                // would have fired them (probabilities must be current when
+                // the woken SM scans).
+                self.throttle.advance_to(cycle - 1);
+            }
+            for i in 0..n {
+                if wake_at[i] > cycle {
+                    continue;
+                }
+                if let Some(since) = sleep_from[i].take() {
+                    self.sms[i].credit_skipped(cycle - since);
+                    self.throttle.wake_sm(i, cycle);
+                }
+                let out = self.sms[i].step(
                     cycle,
                     kinfo,
                     &lat,
@@ -100,9 +157,45 @@ impl Gpu {
                     &mut self.throttle,
                     &mut self.dispatcher,
                 );
+                wake_at[i] = if self.fast_forward && out.quiescent {
+                    if out.live {
+                        match self.sms[i].next_wake() {
+                            Some(w) if w > cycle => w,
+                            // A live-but-eventless SM can only be a
+                            // (deadlocked) reference-path state; keep
+                            // stepping it every cycle.
+                            _ => cycle + 1,
+                        }
+                    } else {
+                        u64::MAX
+                    }
+                } else {
+                    cycle + 1
+                };
+                if wake_at[i] > cycle + 1 {
+                    sleep_from[i] = Some(cycle + 1);
+                    if out.live {
+                        self.throttle.sleep_sm(i, cycle + 1);
+                    }
+                }
             }
-            self.throttle.on_cycle(cycle);
+            self.throttle.advance_to(cycle);
             cycle += 1;
+            if self.fast_forward {
+                // Jump to the next cycle on which anything can happen.
+                let next = wake_at.iter().copied().min().unwrap_or(cycle);
+                if next > cycle {
+                    cycle = next.min(max_cycles);
+                }
+            }
+        }
+        // Credit sleepers interrupted by grid completion or timeout.
+        for (sm, slept) in self.sms.iter_mut().zip(&sleep_from) {
+            if let Some(since) = slept {
+                if cycle > *since {
+                    sm.credit_skipped(cycle - since);
+                }
+            }
         }
         self.collect(cycle, !self.finished())
     }

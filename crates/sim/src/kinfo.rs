@@ -4,10 +4,68 @@
 //! whole simulation: the private/shared classification of every instruction
 //! under the configured threshold (paper Figs. 3–4 steps (b)/(c) are pure
 //! comparator logic, so we evaluate them once per static instruction), warp
-//! shapes, and loop-table sizes.
+//! shapes, and loop-table sizes. The per-instruction results are packed into
+//! one [`InstrMeta`] record per static instruction so the per-cycle readiness
+//! scan and issue paths touch a single contiguous table instead of several
+//! parallel vectors plus the program itself.
 
 use grs_core::{ResourceKind, Threshold};
 use grs_isa::{Kernel, Op, WARP_SIZE};
+
+use crate::warp::NO_REG;
+
+/// Everything the simulator's hot paths need to know about one static
+/// instruction, resolved once per run.
+#[derive(Debug, Clone, Copy)]
+pub struct InstrMeta {
+    /// Scoreboard mask of all register operands (sources and destination).
+    /// Requires `regs_per_thread ≤ 64`, checked by the simulator entry point.
+    pub op_mask: u64,
+    /// The operation, copied out of the program for locality.
+    pub op: Op,
+    /// Destination register, [`NO_REG`] when the instruction writes none.
+    pub dst: u16,
+    /// Classification bits, see the `FLAG_*` constants.
+    flags: u8,
+}
+
+const FLAG_GLOBAL_MEM: u8 = 1 << 0;
+const FLAG_SHARED_MEM: u8 = 1 << 1;
+const FLAG_SHARED_REG: u8 = 1 << 2;
+const FLAG_SHARED_SMEM: u8 = 1 << 3;
+const FLAG_EXIT: u8 = 1 << 4;
+
+impl InstrMeta {
+    /// Global-memory load or store?
+    #[inline]
+    pub fn is_global_mem(&self) -> bool {
+        self.flags & FLAG_GLOBAL_MEM != 0
+    }
+
+    /// Scratchpad load or store?
+    #[inline]
+    pub fn is_shared_mem(&self) -> bool {
+        self.flags & FLAG_SHARED_MEM != 0
+    }
+
+    /// Touches a register classified *shared* under the run's threshold?
+    #[inline]
+    pub fn uses_shared_reg(&self) -> bool {
+        self.flags & FLAG_SHARED_REG != 0
+    }
+
+    /// Touches scratchpad classified *shared* under the run's threshold?
+    #[inline]
+    pub fn uses_shared_smem(&self) -> bool {
+        self.flags & FLAG_SHARED_SMEM != 0
+    }
+
+    /// Warp retirement?
+    #[inline]
+    pub fn is_exit(&self) -> bool {
+        self.flags & FLAG_EXIT != 0
+    }
+}
 
 /// Immutable, preprocessed view of a kernel for one run configuration.
 #[derive(Debug, Clone)]
@@ -26,14 +84,8 @@ pub struct KernelInfo {
     pub private_regs: u16,
     /// Scratchpad bytes classified private per block (`Rtb·t` of Fig. 4).
     pub private_smem: u32,
-    /// Per static instruction: does it touch a shared register?
-    pub uses_shared_reg: Vec<bool>,
-    /// Per static instruction: does it touch shared scratchpad?
-    pub uses_shared_smem: Vec<bool>,
-    /// Per static instruction: scoreboard mask of all register operands
-    /// (sources and destination). Requires `regs_per_thread ≤ 64`, checked
-    /// by the simulator entry point.
-    pub op_masks: Vec<u64>,
+    /// Per static instruction: packed scan/issue metadata.
+    pub meta: Vec<InstrMeta>,
     /// Loop-counter table size per warp.
     pub num_loops: usize,
 }
@@ -64,26 +116,36 @@ impl KernelInfo {
             _ => kernel.smem_per_block,
         };
 
-        let uses_shared_reg: Vec<bool> = kernel
+        let meta: Vec<InstrMeta> = kernel
             .program
             .instrs
             .iter()
-            .map(|i| i.operands().any(|r| kernel.seq_of(r) >= private_regs))
-            .collect();
-        let uses_shared_smem: Vec<bool> = kernel
-            .program
-            .instrs
-            .iter()
-            .map(|i| match i.op {
-                Op::LdShared(p) | Op::StShared(p) => p.max_byte() >= private_smem,
-                _ => false,
+            .map(|i| {
+                let mut flags = 0u8;
+                if i.op.is_global_mem() {
+                    flags |= FLAG_GLOBAL_MEM;
+                }
+                if i.op.is_shared_mem() {
+                    flags |= FLAG_SHARED_MEM;
+                }
+                if i.operands().any(|r| kernel.seq_of(r) >= private_regs) {
+                    flags |= FLAG_SHARED_REG;
+                }
+                if let Op::LdShared(p) | Op::StShared(p) = i.op {
+                    if p.max_byte() >= private_smem {
+                        flags |= FLAG_SHARED_SMEM;
+                    }
+                }
+                if matches!(i.op, Op::Exit) {
+                    flags |= FLAG_EXIT;
+                }
+                InstrMeta {
+                    op_mask: i.operands().fold(0u64, |m, r| m | (1 << (r.0 as u64 & 63))),
+                    op: i.op,
+                    dst: i.dst.map(|d| d.0).unwrap_or(NO_REG),
+                    flags,
+                }
             })
-            .collect();
-        let op_masks: Vec<u64> = kernel
-            .program
-            .instrs
-            .iter()
-            .map(|i| i.operands().fold(0u64, |m, r| m | (1 << (r.0 as u64 & 63))))
             .collect();
         let num_loops = kernel.program.num_loops();
 
@@ -92,9 +154,7 @@ impl KernelInfo {
             threads_in_warp,
             private_regs,
             private_smem,
-            uses_shared_reg,
-            uses_shared_smem,
-            op_masks,
+            meta,
             num_loops,
             kernel,
         }
@@ -130,8 +190,8 @@ mod tests {
     #[test]
     fn baseline_marks_nothing_shared() {
         let ki = KernelInfo::new(kernel(), None, Threshold::paper_default());
-        assert!(ki.uses_shared_reg.iter().all(|&b| !b));
-        assert!(ki.uses_shared_smem.iter().all(|&b| !b));
+        assert!(ki.meta.iter().all(|m| !m.uses_shared_reg()));
+        assert!(ki.meta.iter().all(|m| !m.uses_shared_smem()));
     }
 
     #[test]
@@ -145,9 +205,9 @@ mod tests {
         assert_eq!(ki.private_regs, 2);
         // Scratchpad untouched by register sharing.
         assert_eq!(ki.private_smem, 2180);
-        assert!(ki.uses_shared_smem.iter().all(|&b| !b));
+        assert!(ki.meta.iter().all(|m| !m.uses_shared_smem()));
         // Some instruction uses registers ≥ seq 2.
-        assert!(ki.uses_shared_reg.iter().any(|&b| b));
+        assert!(ki.meta.iter().any(|m| m.uses_shared_reg()));
     }
 
     #[test]
@@ -161,16 +221,30 @@ mod tests {
         assert_eq!(ki.private_smem, 218);
         // The 0..128 access is private; the access ending at 2063 is shared.
         let shared_flags: Vec<bool> = ki
-            .kernel
-            .program
-            .instrs
+            .meta
             .iter()
-            .zip(&ki.uses_shared_smem)
-            .filter(|(i, _)| i.op.is_shared_mem())
-            .map(|(_, &f)| f)
+            .filter(|m| m.is_shared_mem())
+            .map(|m| m.uses_shared_smem())
             .collect();
         assert_eq!(shared_flags, vec![false, true]);
         // Registers untouched by scratchpad sharing.
-        assert!(ki.uses_shared_reg.iter().all(|&b| !b));
+        assert!(ki.meta.iter().all(|m| !m.uses_shared_reg()));
+    }
+
+    #[test]
+    fn meta_mirrors_the_program() {
+        let ki = KernelInfo::new(kernel(), None, Threshold::paper_default());
+        assert_eq!(ki.meta.len(), ki.kernel.program.instrs.len());
+        for (m, i) in ki.meta.iter().zip(&ki.kernel.program.instrs) {
+            assert_eq!(m.op, i.op);
+            assert_eq!(m.is_global_mem(), i.op.is_global_mem());
+            assert_eq!(m.is_shared_mem(), i.op.is_shared_mem());
+            assert_eq!(m.is_exit(), matches!(i.op, Op::Exit));
+            assert_eq!(m.dst, i.dst.map(|d| d.0).unwrap_or(NO_REG));
+            let expect_mask = i
+                .operands()
+                .fold(0u64, |acc, r| acc | (1 << (r.0 as u64 & 63)));
+            assert_eq!(m.op_mask, expect_mask);
+        }
     }
 }

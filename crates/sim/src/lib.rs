@@ -9,6 +9,14 @@
 //! resource-sharing runtime from [`grs_core`] gates shared register and
 //! scratchpad accesses through the paper's Fig. 3/Fig. 4 automata.
 //!
+//! Execution is event-driven where cycle-accuracy permits: writebacks live
+//! in a bucketed timing wheel ([`wheel`]), the per-cycle readiness scan is
+//! incremental (only warps whose state could have changed are re-examined),
+//! and when no SM can make progress the run loop fast-forwards the clock to
+//! the next writeback while crediting the skipped span to the same idle /
+//! empty counters the per-cycle loop would have produced — statistics are
+//! bit-identical with [`RunConfig::fast_forward`] on or off.
+//!
 //! The top-level API is [`Simulator`]: configure a [`RunConfig`], call
 //! [`Simulator::run`] on a [`grs_isa::Kernel`], read the [`SimStats`].
 //!
@@ -43,6 +51,7 @@ pub mod server;
 pub mod sm;
 pub mod stats;
 pub mod warp;
+pub mod wheel;
 
 pub use run::{RunConfig, SharingMode, Simulator};
 pub use stats::{MemStats, SimStats, SmStats};

@@ -51,6 +51,11 @@ pub struct RunConfig {
     /// Apply the declaration-reordering pass (paper Sec. IV-B) before
     /// simulating.
     pub reorder_decls: bool,
+    /// Event-driven fast-forward engine: skip spans of cycles in which no SM
+    /// can make progress (see the `grs_sim::gpu` module docs). Statistics
+    /// are bit-identical with the engine on or off; the knob exists so tests
+    /// and benches can diff the fast path against the per-cycle reference.
+    pub fast_forward: bool,
     /// Safety bound on simulated cycles.
     pub max_cycles: u64,
 }
@@ -68,6 +73,7 @@ impl RunConfig {
             threshold: Threshold::paper_default(),
             dyn_throttle: false,
             reorder_decls: false,
+            fast_forward: true,
             max_cycles: Self::DEFAULT_MAX_CYCLES,
         }
     }
@@ -140,6 +146,13 @@ impl RunConfig {
     /// Enable/disable declaration reordering.
     pub fn with_reorder_decls(mut self, on: bool) -> Self {
         self.reorder_decls = on;
+        self
+    }
+
+    /// Enable/disable the event-driven fast-forward engine (on by default;
+    /// off runs the cycle-by-cycle reference loop — same statistics, slower).
+    pub fn with_fast_forward(mut self, on: bool) -> Self {
+        self.fast_forward = on;
         self
     }
 
@@ -247,6 +260,7 @@ impl Simulator {
             self.cfg.scheduler,
             self.cfg.dyn_throttle,
             self.cfg.sharing.resource(),
+            self.cfg.fast_forward,
         );
         Ok(gpu.run(&kinfo, self.cfg.max_cycles))
     }

@@ -14,9 +14,30 @@
 //! 4. accounts the cycle as productive, *stall* (something was blocked by a
 //!    lock/throttle/port) or *idle* (everything ready-less was waiting on
 //!    latency or barriers) — the paper's Fig. 9(c,d) split.
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//!
+//! ## Incremental readiness
+//!
+//! The scan is incremental: each warp slot carries a [`SlotScan`] state and
+//! the cached [`WarpView`] from its last evaluation. A warp blocked purely on
+//! conditions that only a writeback drain or an issue on this SM can change —
+//! scoreboard hazard, exit drain, barrier wait — is *stable*: its cached view
+//! remains valid and the reference scan would produce no side effects for it,
+//! so it is skipped until something dirties it. Warps whose evaluation has
+//! per-cycle side effects or same-cycle dependencies (ready, lock busy-wait,
+//! throttle gating, MSHR backpressure) are *volatile* and re-evaluated every
+//! cycle, reproducing the reference side-effect sequence (stat counters, RNG
+//! draws) in slot order. Structural changes (block launch/retire) rebuild the
+//! whole view vector, which otherwise keeps the exact composition the
+//! schedulers saw in the reference implementation.
+//!
+//! ## Fast-forward support
+//!
+//! [`Sm::step`] reports whether the cycle was *quiescent* — zero issues, no
+//! stall reason, and no volatile warp, i.e. a cycle whose outcome is fully
+//! determined until the next writeback drains. [`Sm::next_wake`] exposes that
+//! drain cycle (the timing wheel's minimum); [`crate::gpu::Gpu::run`] jumps
+//! the clock when every SM is quiescent and credits the skipped span through
+//! [`Sm::credit_skipped`], preserving the idle/empty split bit for bit.
 
 use grs_core::{
     DynThrottle, LatencyConfig, LaunchPlan, RegAccess, RegPairLocks, Scheduler, SchedulerKind,
@@ -31,10 +52,62 @@ use crate::kinfo::KernelInfo;
 use crate::mem::{generate_addresses, SharedMem};
 use crate::stats::SmStats;
 use crate::warp::{Warp, NO_REG};
+use crate::wheel::{TimingWheel, Writeback};
 
-/// Writeback event: completes at `.0`, targets warp slot `.1`, clears
-/// register `.2` (`NO_REG` for stores), and frees an MSHR slot when `.3`.
-type Writeback = (u64, u32, u16, bool);
+/// Scan bookkeeping for one warp slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotScan {
+    /// No live warp in the slot.
+    Vacant,
+    /// State changed since the last evaluation; re-evaluate once.
+    Dirty,
+    /// Blocked on conditions only a drain or an SM-local issue can change
+    /// (hazard, exit drain, barrier): cached view valid, no per-cycle side
+    /// effects. Skippable.
+    Stable,
+    /// Re-evaluate every cycle: ready, lock-blocked, throttle-gated or
+    /// MSHR-full — evaluation has per-cycle side effects (stat counters,
+    /// RNG draws) or can change without time passing.
+    Volatile,
+}
+
+/// Aggregate outcome of one readiness scan.
+#[derive(Debug, Clone, Copy)]
+struct ScanSummary {
+    any_live: bool,
+    any_stall: bool,
+    any_volatile: bool,
+    any_ready: bool,
+}
+
+impl ScanSummary {
+    #[inline]
+    fn note(&mut self, view: &WarpView, state: SlotScan, stall: bool) {
+        self.any_stall |= stall;
+        self.any_volatile |= state == SlotScan::Volatile;
+        self.any_ready |= view.ready;
+    }
+}
+
+/// Static per-run SM mode flags.
+#[derive(Debug, Clone, Copy)]
+pub struct SmMode {
+    /// Register (true) or scratchpad (false) pair locks for shared slots.
+    pub register_sharing: bool,
+    /// Event-engine incremental scan (true) or the per-cycle reference scan
+    /// (false; see [`Sm`] field docs).
+    pub incremental: bool,
+}
+
+/// What one [`Sm::step`] call did, as the fast-forward engine needs it.
+#[derive(Debug, Clone, Copy)]
+pub struct StepOutcome {
+    /// Did the SM hold any live (unfinished) warp this cycle?
+    pub live: bool,
+    /// Zero issues, no stall reason, no volatile warp: nothing on this SM
+    /// can change before its next writeback drains.
+    pub quiescent: bool,
+}
 
 /// One streaming multiprocessor.
 #[derive(Debug)]
@@ -57,14 +130,29 @@ pub struct Sm {
     sched: Scheduler,
     units: usize,
     next_dyn_id: u64,
-    writebacks: BinaryHeap<Reverse<Writeback>>,
+    writebacks: TimingWheel,
+    // Incremental-scan state.
+    scan_state: Vec<SlotScan>,
+    view_pos: Vec<u32>,
+    live_warp_count: u32,
+    structural: bool,
+    /// With `incremental` off (the `fast_forward: false` reference mode)
+    /// every scan rebuilds every view from scratch and ready-less cycles
+    /// still walk the scheduler units — the seed's exact per-cycle
+    /// behaviour, so the equivalence suite genuinely diffs the incremental
+    /// engine (dirty tracking, idle shortcut) against it.
+    incremental: bool,
     // per-cycle scratch, reused to avoid allocation
     views: Vec<WarpView>,
     addr_buf: Vec<u64>,
+    wb_scratch: Vec<Writeback>,
 }
 
+const NO_VIEW: u32 = u32::MAX;
+
 impl Sm {
-    /// Build an SM for one run.
+    /// Build an SM for one run. `mode.incremental` selects the event-engine
+    /// scan (see the module docs); off reproduces the per-cycle reference.
     pub fn new(
         id: usize,
         plan: LaunchPlan,
@@ -72,13 +160,13 @@ impl Sm {
         sched_kind: SchedulerKind,
         units: usize,
         l1: Cache,
-        register_sharing: bool,
+        mode: SmMode,
     ) -> Self {
         let slots = plan.max_blocks as usize;
         let wpb = kinfo.warps_per_block as usize;
         let pairs = (0..plan.shared_pairs)
             .map(|_| {
-                if register_sharing {
+                if mode.register_sharing {
                     PairLocks::Reg(RegPairLocks::new(wpb))
                 } else {
                     PairLocks::Smem(SmemPairLock::new())
@@ -96,9 +184,15 @@ impl Sm {
             sched: sched_kind.build(slots * wpb, units),
             units,
             next_dyn_id: 0,
-            writebacks: BinaryHeap::new(),
+            writebacks: TimingWheel::new(),
+            scan_state: vec![SlotScan::Vacant; slots * wpb],
+            view_pos: vec![NO_VIEW; slots * wpb],
+            live_warp_count: 0,
+            structural: true,
+            incremental: mode.incremental,
             views: Vec::with_capacity(slots * wpb),
             addr_buf: Vec::with_capacity(32),
+            wb_scratch: Vec::with_capacity(32),
         }
     }
 
@@ -110,6 +204,28 @@ impl Sm {
     /// Does any slot lack a block?
     pub fn has_free_slot(&self) -> bool {
         self.blocks.iter().any(|b| b.is_none())
+    }
+
+    /// Does the SM hold any live (unfinished) warp?
+    pub fn has_live_warps(&self) -> bool {
+        self.live_warp_count > 0
+    }
+
+    /// Earliest cycle at which a pending writeback will drain, if any — the
+    /// only future event that can change a quiescent SM's state.
+    pub fn next_wake(&self) -> Option<u64> {
+        self.writebacks.next_due()
+    }
+
+    /// Credit `span` skipped cycles with exactly the accounting the per-cycle
+    /// loop would have produced for a quiescent SM: idle when live warps wait
+    /// on latency, empty when no work is resident.
+    pub fn credit_skipped(&mut self, span: u64) {
+        if self.live_warp_count > 0 {
+            self.stats.idle_cycles += span;
+        } else {
+            self.stats.empty_cycles += span;
+        }
     }
 
     /// Launch grid block `grid_id` into the first free slot. Panics if no
@@ -139,6 +255,8 @@ impl Sm {
                 grid_id,
             ));
         }
+        self.live_warp_count += wpb;
+        self.structural = true;
         self.stats.max_resident_blocks = self.stats.max_resident_blocks.max(self.live_blocks());
     }
 
@@ -151,179 +269,261 @@ impl Sm {
         shared: &mut SharedMem,
         throttle: &mut DynThrottle,
         dispatcher: &mut Dispatcher,
-    ) {
+    ) -> StepOutcome {
         self.drain_writebacks(now);
         let max_pending = shared.cfg.max_pending_per_warp;
-        let (any_live, any_stall_reason) = self.scan_readiness(kinfo, throttle, max_pending);
+        let scan = self.scan_readiness(kinfo, throttle, max_pending);
 
         let mut issued = 0u32;
         let mut port_conflict = false;
         let mut global_port_used = false;
         let mut smem_port_used = false;
-        for unit in 0..self.units {
-            let Some(slot) = self.sched.pick(unit, self.units, &self.views) else {
-                continue;
-            };
-            let pc = self.warps[slot].as_ref().expect("picked warp exists").pc as usize;
-            let op = kinfo.kernel.program.instrs[pc].op;
-            // Structural ports: one global-memory and one scratchpad
-            // instruction per SM per cycle.
-            if op.is_global_mem() {
-                if global_port_used {
-                    port_conflict = true;
+        if scan.any_ready || !self.incremental {
+            for unit in 0..self.units {
+                let Some(slot) = self.sched.pick(unit, self.units, &self.views) else {
                     continue;
+                };
+                let pc = self.warps[slot].as_ref().expect("picked warp exists").pc as usize;
+                let meta = &kinfo.meta[pc];
+                // Structural ports: one global-memory and one scratchpad
+                // instruction per SM per cycle.
+                if meta.is_global_mem() {
+                    if global_port_used {
+                        port_conflict = true;
+                        continue;
+                    }
+                    global_port_used = true;
+                } else if meta.is_shared_mem() {
+                    if smem_port_used {
+                        port_conflict = true;
+                        continue;
+                    }
+                    smem_port_used = true;
                 }
-                global_port_used = true;
-            } else if op.is_shared_mem() {
-                if smem_port_used {
-                    port_conflict = true;
-                    continue;
+                if self.issue(slot, now, kinfo, lat, shared, dispatcher) {
+                    issued += 1;
+                } else {
+                    port_conflict = true; // same-cycle lock race: counts as stall
                 }
-                smem_port_used = true;
             }
-            if self.issue(slot, now, kinfo, lat, shared, dispatcher) {
-                issued += 1;
-            } else {
-                port_conflict = true; // same-cycle lock race: counts as stall
-            }
+        } else {
+            // No unit can pick anything; apply the scheduler-state
+            // transition an all-unready pick round would have made and skip
+            // the per-unit view walks.
+            self.sched.note_idle_cycle();
         }
 
         if issued == 0 {
-            if any_stall_reason || port_conflict {
+            if scan.any_stall || port_conflict {
                 self.stats.stall_cycles += 1;
-            } else if any_live {
+            } else if scan.any_live {
                 self.stats.idle_cycles += 1;
             } else {
                 self.stats.empty_cycles += 1;
             }
-            if any_live {
+            if scan.any_live {
                 // The Sec. IV-C monitor compares per-SM lost cycles; both
                 // pipeline stalls and ready-less (memory-wait) cycles are
                 // symptoms of the interference it throttles.
                 throttle.note_stall(self.id);
             }
         }
+
+        StepOutcome {
+            live: scan.any_live,
+            quiescent: issued == 0 && !scan.any_stall && !port_conflict && !scan.any_volatile,
+        }
     }
 
     fn drain_writebacks(&mut self, now: u64) {
-        while let Some(&Reverse((cycle, wslot, reg, is_mem))) = self.writebacks.peek() {
-            if cycle > now {
-                break;
-            }
-            self.writebacks.pop();
-            if let Some(w) = self.warps[wslot as usize].as_mut() {
+        self.writebacks.drain_due_into(now, &mut self.wb_scratch);
+        for &(_, wslot, reg, is_mem) in &self.wb_scratch {
+            let slot = wslot as usize;
+            if let Some(w) = self.warps[slot].as_mut() {
                 w.clear_pending(reg);
                 if is_mem {
                     w.outstanding_mem = w.outstanding_mem.saturating_sub(1);
+                }
+                if self.scan_state[slot] == SlotScan::Stable {
+                    self.scan_state[slot] = SlotScan::Dirty;
                 }
             }
         }
     }
 
-    /// Scan every resident warp, building the scheduler view. Returns
-    /// `(any_live, any_stall_reason)`.
+    #[inline]
+    fn mark_slot_dirty(&mut self, slot: usize) {
+        if self.scan_state[slot] == SlotScan::Stable {
+            self.scan_state[slot] = SlotScan::Dirty;
+        }
+    }
+
+    /// Invalidate every warp of `block_slot` (barrier release, lock/owner
+    /// transitions of the block's pair).
+    fn mark_block_dirty(&mut self, block_slot: u32, warps_per_block: u32) {
+        let base = block_slot as usize * warps_per_block as usize;
+        for slot in base..base + warps_per_block as usize {
+            self.mark_slot_dirty(slot);
+        }
+    }
+
+    /// Invalidate both blocks of `pair` — a lock grant may have changed the
+    /// pair's owner, which feeds every cached view's [`WarpClass`].
+    fn mark_pair_dirty(&mut self, pair: u32, warps_per_block: u32) {
+        let a = self.plan.unshared + 2 * pair;
+        self.mark_block_dirty(a, warps_per_block);
+        self.mark_block_dirty(a + 1, warps_per_block);
+    }
+
+    /// Scan resident warps, refreshing the scheduler view. Stable slots are
+    /// skipped; their cached views are still exactly what a full scan would
+    /// produce, with the same (empty) side-effect set. Ready warps are
+    /// always volatile, so `any_ready` only needs the re-evaluated slots.
     fn scan_readiness(
         &mut self,
         kinfo: &KernelInfo,
         throttle: &mut DynThrottle,
         max_pending: u32,
-    ) -> (bool, bool) {
-        self.views.clear();
-        let mut any_live = false;
-        let mut any_stall = false;
-        for slot in 0..self.warps.len() {
-            let Some(w) = self.warps[slot].as_ref() else {
-                continue;
-            };
-            if w.finished {
-                continue;
+    ) -> ScanSummary {
+        let mut summary = ScanSummary {
+            any_live: self.live_warp_count > 0,
+            any_stall: false,
+            any_volatile: false,
+            any_ready: false,
+        };
+        if self.structural || !self.incremental {
+            self.structural = false;
+            self.views.clear();
+            for slot in 0..self.warps.len() {
+                let live = self.warps[slot].as_ref().is_some_and(|w| !w.finished);
+                if !live {
+                    self.scan_state[slot] = SlotScan::Vacant;
+                    self.view_pos[slot] = NO_VIEW;
+                    continue;
+                }
+                let (view, state, stall) = self.eval_warp(slot, kinfo, throttle, max_pending);
+                summary.note(&view, state, stall);
+                self.scan_state[slot] = state;
+                self.view_pos[slot] = self.views.len() as u32;
+                self.views.push(view);
             }
-            any_live = true;
-            let block = self.blocks[w.block_slot as usize]
-                .as_ref()
-                .expect("live warp belongs to a live block");
-            // OWF class (paper Sec. IV-A). Ownership only exists once a
-            // block waits on shared resources held by its partner: a shared
-            // block whose partner slot is empty, or whose pair has no
-            // determined owner yet, behaves like an unshared block.
-            let class = match block.pairing {
-                Pairing::Unshared => WarpClass::Unshared,
-                Pairing::Paired { pair, member } => {
-                    let base = self.plan.unshared + 2 * pair;
-                    let partner_slot = base
-                        + if member == grs_core::PairMember::A {
-                            1
-                        } else {
-                            0
-                        };
-                    let partner_present = self.blocks[partner_slot as usize].is_some();
-                    match self.pairs[pair as usize].owner() {
-                        _ if !partner_present => WarpClass::Unshared,
-                        Some(m) if m == member => WarpClass::Owner,
-                        Some(_) => WarpClass::NonOwner,
-                        None => WarpClass::Unshared,
+        } else {
+            for slot in 0..self.warps.len() {
+                match self.scan_state[slot] {
+                    SlotScan::Vacant | SlotScan::Stable => {}
+                    SlotScan::Dirty | SlotScan::Volatile => {
+                        let (view, state, stall) =
+                            self.eval_warp(slot, kinfo, throttle, max_pending);
+                        summary.note(&view, state, stall);
+                        self.scan_state[slot] = state;
+                        self.views[self.view_pos[slot] as usize] = view;
                     }
                 }
-            };
+            }
+        }
+        summary
+    }
 
-            let mut ready = false;
-            if !w.at_barrier {
-                let pc = w.pc as usize;
-                let instr = &kinfo.kernel.program.instrs[pc];
-                let hazard = w.has_hazard(kinfo.op_masks[pc]);
-                let drain_for_exit =
-                    matches!(instr.op, Op::Exit) && (w.outstanding_mem > 0 || w.pending_regs != 0);
-                let mshr_full = instr.op.is_global_mem() && w.outstanding_mem >= max_pending;
-                if mshr_full {
-                    // Structural congestion: the warp has work but the
-                    // memory pipeline cannot accept it — a *pipeline stall*
-                    // in the paper's Sec. VI-B accounting (and the signal
-                    // the Sec. IV-C throttle monitors).
-                    any_stall = true;
-                }
-                if !hazard && !drain_for_exit && !mshr_full {
-                    ready = true;
-                    // Pair-lock busy-wait (Fig. 3 / Fig. 4 step (e)): the
-                    // warp is simply not ready; it retries next cycle.
-                    if let Pairing::Paired { pair, member } = block.pairing {
-                        if kinfo.uses_shared_reg[pc] {
-                            if let PairLocks::Reg(l) = &self.pairs[pair as usize] {
-                                if !l.can_access(member, w.warp_in_block as usize) {
-                                    ready = false;
-                                    self.stats.lock_retries += 1;
-                                }
-                            }
-                        }
-                        if ready && kinfo.uses_shared_smem[pc] {
-                            if let PairLocks::Smem(l) = &self.pairs[pair as usize] {
-                                if !l.can_access(member) {
-                                    ready = false;
-                                    self.stats.lock_retries += 1;
-                                }
-                            }
-                        }
-                    }
-                    // Dynamic warp-execution throttle (paper Sec. IV-C):
-                    // intentional suppression, not a pipeline stall.
-                    if ready
-                        && instr.op.is_global_mem()
-                        && class == WarpClass::NonOwner
-                        && throttle.enabled()
-                        && !throttle.allow(self.id)
-                    {
-                        ready = false;
-                        self.stats.throttled_issues += 1;
-                    }
+    /// Evaluate one live warp exactly as the reference per-cycle scan would:
+    /// same checks, same order, same side effects (lock-retry and throttle
+    /// counters, throttle RNG draws).
+    fn eval_warp(
+        &mut self,
+        slot: usize,
+        kinfo: &KernelInfo,
+        throttle: &mut DynThrottle,
+        max_pending: u32,
+    ) -> (WarpView, SlotScan, bool) {
+        let w = self.warps[slot].as_ref().expect("evaluating a live warp");
+        let block = self.blocks[w.block_slot as usize]
+            .as_ref()
+            .expect("live warp belongs to a live block");
+        // OWF class (paper Sec. IV-A). Ownership only exists once a
+        // block waits on shared resources held by its partner: a shared
+        // block whose partner slot is empty, or whose pair has no
+        // determined owner yet, behaves like an unshared block.
+        let class = match block.pairing {
+            Pairing::Unshared => WarpClass::Unshared,
+            Pairing::Paired { pair, member } => {
+                let base = self.plan.unshared + 2 * pair;
+                let partner_slot = base
+                    + if member == grs_core::PairMember::A {
+                        1
+                    } else {
+                        0
+                    };
+                let partner_present = self.blocks[partner_slot as usize].is_some();
+                match self.pairs[pair as usize].owner() {
+                    _ if !partner_present => WarpClass::Unshared,
+                    Some(m) if m == member => WarpClass::Owner,
+                    Some(_) => WarpClass::NonOwner,
+                    None => WarpClass::Unshared,
                 }
             }
-            self.views.push(WarpView {
+        };
+
+        let mut ready = false;
+        let mut stall = false;
+        let mut state = SlotScan::Stable;
+        if !w.at_barrier {
+            let meta = &kinfo.meta[w.pc as usize];
+            let hazard = w.has_hazard(meta.op_mask);
+            let drain_for_exit = meta.is_exit() && (w.outstanding_mem > 0 || w.pending_regs != 0);
+            let mshr_full = meta.is_global_mem() && w.outstanding_mem >= max_pending;
+            if mshr_full {
+                // Structural congestion: the warp has work but the
+                // memory pipeline cannot accept it — a *pipeline stall*
+                // in the paper's Sec. VI-B accounting (and the signal
+                // the Sec. IV-C throttle monitors).
+                stall = true;
+                state = SlotScan::Volatile;
+            }
+            if !hazard && !drain_for_exit && !mshr_full {
+                state = SlotScan::Volatile;
+                ready = true;
+                // Pair-lock busy-wait (Fig. 3 / Fig. 4 step (e)): the
+                // warp is simply not ready; it retries next cycle.
+                if let Pairing::Paired { pair, member } = block.pairing {
+                    if meta.uses_shared_reg() {
+                        if let PairLocks::Reg(l) = &self.pairs[pair as usize] {
+                            if !l.can_access(member, w.warp_in_block as usize) {
+                                ready = false;
+                                self.stats.lock_retries += 1;
+                            }
+                        }
+                    }
+                    if ready && meta.uses_shared_smem() {
+                        if let PairLocks::Smem(l) = &self.pairs[pair as usize] {
+                            if !l.can_access(member) {
+                                ready = false;
+                                self.stats.lock_retries += 1;
+                            }
+                        }
+                    }
+                }
+                // Dynamic warp-execution throttle (paper Sec. IV-C):
+                // intentional suppression, not a pipeline stall.
+                if ready
+                    && meta.is_global_mem()
+                    && class == WarpClass::NonOwner
+                    && throttle.enabled()
+                    && !throttle.allow(self.id)
+                {
+                    ready = false;
+                    self.stats.throttled_issues += 1;
+                }
+            }
+        }
+        (
+            WarpView {
                 slot,
                 dynamic_id: w.dynamic_id,
                 class,
                 ready,
-            });
-        }
-        (any_live, any_stall)
+            },
+            state,
+            stall,
+        )
     }
 
     /// Issue the next instruction of the warp in `slot`. Returns false only
@@ -344,26 +544,30 @@ impl Sm {
                 .expect("live block");
             (w.pc as usize, w.block_slot, w.warp_in_block, b.pairing)
         };
-        let instr = kinfo.kernel.program.instrs[pc];
+        let meta = kinfo.meta[pc];
 
         // Acquire pair locks for real (a peer scheduler unit may have taken
-        // them since the readiness scan).
+        // them since the readiness scan). A grant may flip the pair's lock
+        // and owner state, so cached views of both blocks are invalidated;
+        // a denial mutates nothing.
         if let Pairing::Paired { pair, member } = pairing {
-            if kinfo.uses_shared_reg[pc] {
+            if meta.uses_shared_reg() {
                 if let PairLocks::Reg(l) = &mut self.pairs[pair as usize] {
                     if l.access_shared(member, warp_in_block as usize) == RegAccess::Blocked {
                         self.stats.lock_retries += 1;
                         return false;
                     }
                 }
+                self.mark_pair_dirty(pair, kinfo.warps_per_block);
             }
-            if kinfo.uses_shared_smem[pc] {
+            if meta.uses_shared_smem() {
                 if let PairLocks::Smem(l) = &mut self.pairs[pair as usize] {
                     if l.access_shared(member) == RegAccess::Blocked {
                         self.stats.lock_retries += 1;
                         return false;
                     }
                 }
+                self.mark_pair_dirty(pair, kinfo.warps_per_block);
             }
         }
 
@@ -371,10 +575,10 @@ impl Sm {
         {
             let w = self.warps[slot].as_mut().expect("issuing a live warp");
             threads = w.threads;
-            match instr.op {
+            match meta.op {
                 Op::IAlu => advance_alu(
                     w,
-                    &instr,
+                    meta.dst,
                     now,
                     u64::from(lat.ialu),
                     slot,
@@ -382,7 +586,7 @@ impl Sm {
                 ),
                 Op::IMul => advance_alu(
                     w,
-                    &instr,
+                    meta.dst,
                     now,
                     u64::from(lat.imul),
                     slot,
@@ -390,7 +594,7 @@ impl Sm {
                 ),
                 Op::FAdd | Op::FMul | Op::FFma => advance_alu(
                     w,
-                    &instr,
+                    meta.dst,
                     now,
                     u64::from(lat.fp),
                     slot,
@@ -398,7 +602,7 @@ impl Sm {
                 ),
                 Op::Sfu => advance_alu(
                     w,
-                    &instr,
+                    meta.dst,
                     now,
                     u64::from(lat.sfu),
                     slot,
@@ -406,7 +610,7 @@ impl Sm {
                 ),
                 Op::LdShared(_) => advance_alu(
                     w,
-                    &instr,
+                    meta.dst,
                     now,
                     u64::from(lat.scratchpad),
                     slot,
@@ -419,7 +623,7 @@ impl Sm {
                     self.addr_buf.clear();
                     let grid_id = self.blocks[block_slot as usize].as_ref().unwrap().grid_id;
                     generate_addresses(p, w, grid_id, &mut self.addr_buf);
-                    let is_load = matches!(instr.op, Op::LdGlobal(_));
+                    let is_load = matches!(meta.op, Op::LdGlobal(_));
                     let mut max_lat = 0u64;
                     for &addr in &self.addr_buf {
                         let l = if is_load {
@@ -430,17 +634,16 @@ impl Sm {
                         max_lat = max_lat.max(l);
                     }
                     let reg = if is_load {
-                        let r = instr.dst.map(|d| d.0).unwrap_or(NO_REG);
-                        if r != NO_REG {
-                            w.mark_pending(r);
+                        if meta.dst != NO_REG {
+                            w.mark_pending(meta.dst);
                         }
-                        r
+                        meta.dst
                     } else {
                         NO_REG
                     };
                     w.outstanding_mem += 1;
                     self.writebacks
-                        .push(Reverse((now + max_lat, slot as u32, reg, true)));
+                        .push((now + max_lat, slot as u32, reg, true));
                     w.pc += 1;
                 }
                 Op::Barrier => {
@@ -454,6 +657,7 @@ impl Sm {
                             .as_mut()
                             .unwrap()
                             .at_barrier = 0;
+                        self.mark_block_dirty(block_slot, kinfo.warps_per_block);
                     }
                 }
                 Op::BranchBack {
@@ -476,6 +680,7 @@ impl Sm {
                 }
                 Op::Exit => {
                     w.finished = true;
+                    self.live_warp_count -= 1;
                     self.retire_warp(slot, block_slot, warp_in_block, pairing, kinfo, dispatcher);
                 }
             }
@@ -488,7 +693,8 @@ impl Sm {
 
     /// Handle a warp retirement: release its register pair lock, resolve
     /// barriers it is no longer part of, and complete the block when it was
-    /// the last warp.
+    /// the last warp. Retirement changes the view composition (and possibly
+    /// lock/owner state), so the next scan rebuilds from scratch.
     fn retire_warp(
         &mut self,
         _slot: usize,
@@ -498,6 +704,7 @@ impl Sm {
         kinfo: &KernelInfo,
         dispatcher: &mut Dispatcher,
     ) {
+        self.structural = true;
         if let Pairing::Paired { pair, member } = pairing {
             if let PairLocks::Reg(l) = &mut self.pairs[pair as usize] {
                 l.warp_finished(member, warp_in_block as usize);
@@ -547,15 +754,15 @@ impl Sm {
 
 fn advance_alu(
     w: &mut Warp,
-    instr: &grs_isa::Instr,
+    dst: u16,
     now: u64,
     latency: u64,
     slot: usize,
-    writebacks: &mut BinaryHeap<Reverse<Writeback>>,
+    writebacks: &mut TimingWheel,
 ) {
-    if let Some(d) = instr.dst {
-        w.mark_pending(d.0);
-        writebacks.push(Reverse((now + latency, slot as u32, d.0, false)));
+    if dst != NO_REG {
+        w.mark_pending(dst);
+        writebacks.push((now + latency, slot as u32, dst, false));
     }
     w.pc += 1;
 }
@@ -603,7 +810,18 @@ mod tests {
             cfg.mem.l1_ways,
             u64::from(cfg.mem.line_bytes),
         );
-        Sm::new(0, p, ki, SchedulerKind::Lrr, 2, l1, true)
+        Sm::new(
+            0,
+            p,
+            ki,
+            SchedulerKind::Lrr,
+            2,
+            l1,
+            SmMode {
+                register_sharing: true,
+                incremental: true,
+            },
+        )
     }
 
     #[test]
@@ -668,5 +886,32 @@ mod tests {
         assert_eq!(s.stats.blocks_completed, 1);
         // 2 warps × 4 instructions (ialu, barrier, ialu, exit).
         assert_eq!(s.stats.warp_instrs, 8);
+    }
+
+    #[test]
+    fn quiescent_cycles_report_the_next_writeback() {
+        // A single warp issues one ialu (latency 4) then hazards on its
+        // result: the following cycles are quiescent with a wake at the
+        // writeback, exactly what the fast-forward engine consumes.
+        let k = KernelBuilder::new("dep")
+            .threads_per_block(32)
+            .regs_per_thread(8)
+            .grid_blocks(1)
+            .ialu(2) // dependent chain
+            .build();
+        let ki = KernelInfo::new(k, None, Threshold::paper_default());
+        let cfg = GpuConfig::tiny();
+        let mut s = sm(&ki, plan(1, 0));
+        let mut shared = SharedMem::new(cfg.mem);
+        let mut throttle = DynThrottle::disabled(1);
+        let mut disp = Dispatcher::new(1);
+        s.launch_block(disp.next_block().unwrap(), &ki);
+        let out0 = s.step(0, &ki, &cfg.lat, &mut shared, &mut throttle, &mut disp);
+        assert!(!out0.quiescent, "cycle 0 issues");
+        let out1 = s.step(1, &ki, &cfg.lat, &mut shared, &mut throttle, &mut disp);
+        assert!(out1.quiescent, "cycle 1 hazards on the ialu result");
+        assert!(out1.live);
+        assert_eq!(s.next_wake(), Some(u64::from(cfg.lat.ialu)));
+        assert_eq!(s.stats.idle_cycles, 1);
     }
 }
