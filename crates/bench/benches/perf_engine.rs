@@ -22,6 +22,15 @@ fn bench(c: &mut Criterion) {
             b.iter(|| sim.run(&kernel))
         });
     }
+    // Same scenario under the event-driven memory model: back-pressure
+    // phases exercise the gated-sleep path instead of pure idle skips.
+    let event_cfg = perf::scenario_config_event();
+    for (name, ff) in [("fast-forward", true), ("reference", false)] {
+        let sim = Simulator::new(event_cfg.clone().with_fast_forward(ff));
+        g.bench_function(format!("conv1-28-dram1600-event/{name}"), |b| {
+            b.iter(|| sim.run(&kernel))
+        });
+    }
     g.finish();
 }
 

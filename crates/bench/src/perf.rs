@@ -18,7 +18,7 @@
 use std::time::Instant;
 
 use grs_isa::Kernel;
-use grs_sim::{RunConfig, Simulator};
+use grs_sim::{MemoryModel, RunConfig, Simulator};
 
 /// One timed engine comparison.
 #[derive(Debug, Clone)]
@@ -91,17 +91,28 @@ pub fn measure(name: &str, kernel: &Kernel, cfg: &RunConfig, reps: u32) -> Measu
     }
 }
 
-/// Run the `repro perf` suite: the primary scenario plus two secondary
-/// points (stock latency, and the full default grid) for context. Returns
-/// the measurements in report order.
+/// The primary bench machine under the event-driven memory model: finite
+/// MSHR tables and DRAM queues turn the dead-wait scenario into one with
+/// genuine back-pressure phases, which exercises the engine's gated-sleep
+/// path (stall spans credited in closed form) rather than pure idle skips.
+pub fn scenario_config_event() -> RunConfig {
+    scenario_config().with_memory_model(MemoryModel::Event)
+}
+
+/// Run the `repro perf` suite: the primary scenario plus three secondary
+/// points (the same scenario under the event memory model, stock latency,
+/// and the full default grid) for context. Returns the measurements in
+/// report order.
 pub fn run_suite(reps: u32) -> Vec<Measurement> {
     let kernel = scenario_kernel();
     let primary = scenario_config();
+    let event = scenario_config_event();
     let stock = RunConfig::baseline_lrr();
     let mut full_grid = grs_workloads::set2::conv1();
     full_grid.grid_blocks = 168;
     vec![
         measure("conv1-28/dram1600", &kernel, &primary, reps),
+        measure("conv1-28/dram1600/event", &kernel, &event, reps),
         measure("conv1-28/stock", &kernel, &stock, reps),
         measure("conv1-168/dram1600", &full_grid, &primary, reps),
     ]

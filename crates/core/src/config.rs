@@ -76,6 +76,28 @@ pub struct MemConfig {
     pub l2_service_q4: u32,
     /// Maximum in-flight global transactions per warp (MSHR-per-warp limit).
     pub max_pending_per_warp: u32,
+    /// Memory partitions of the **event-driven** model (`MemoryModel::Event`
+    /// in `grs-sim`): the L2 is sliced into this many banks, each with its
+    /// own MSHR table and DRAM channel. 768 KB / 6 = 128 KB per slice, the
+    /// Fermi-era arrangement behind the paper's Table I machine. Per-bank
+    /// service intervals are scaled by this count so the *aggregate* L2 and
+    /// DRAM bandwidth matches the functional model. Ignored by
+    /// `MemoryModel::Functional`.
+    pub mem_partitions: u32,
+    /// MSHR entries per partition of the event-driven model; an L2 miss
+    /// holds one from issue until its DRAM fill returns, and a full table
+    /// back-pressures SM issue. `0` = unlimited (the functional model's
+    /// idealization; also disables miss merging). The default is scaled to
+    /// the synthetic coalescer's transaction volume (one line per warp
+    /// access, shrunk grids) rather than raw Fermi entry counts, so that a
+    /// latency-bound kernel exercises back-pressure the way a real one
+    /// saturates a real table. Ignored by `Functional`.
+    pub mshr_entries: u32,
+    /// Bounded DRAM request-queue entries per partition of the event-driven
+    /// model; a slot is held from admission until the channel finishes the
+    /// transaction, and a full queue back-pressures SM issue. `0` =
+    /// unbounded. Ignored by `Functional`.
+    pub dram_queue_entries: u32,
 }
 
 impl Default for MemConfig {
@@ -92,6 +114,9 @@ impl Default for MemConfig {
             dram_service_q4: 2,
             l2_service_q4: 1,
             max_pending_per_warp: 6,
+            mem_partitions: 6,
+            mshr_entries: 8,
+            dram_queue_entries: 16,
         }
     }
 }

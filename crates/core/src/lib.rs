@@ -7,8 +7,8 @@
 //! principle, RTL) drives:
 //!
 //! * [`config`] — the Table I machine description.
-//! * [`occupancy`] — block-residency and resource-waste arithmetic
-//!   (paper Sec. I-A, Fig. 1).
+//! * [`occupancy`](mod@occupancy) — block-residency and resource-waste
+//!   arithmetic (paper Sec. I-A, Fig. 1).
 //! * [`sharing`] — the launch-plan equations of Sec. III-C (`U + S = ⌊R/Rtb⌋`,
 //!   `U·Rtb + S·Rtb(1+t) ≤ R`, `M = U + 2S`), the pair-lock automata of
 //!   Figs. 3–4 with the barrier-deadlock avoidance rule of Fig. 5, and
@@ -40,6 +40,8 @@
 //! let plan = compute_launch_plan(&sm, &hotspot, Threshold::paper_default(), ResourceKind::Registers);
 //! assert_eq!((plan.unshared, plan.shared_pairs, plan.max_blocks), (0, 3, 6));
 //! ```
+
+#![warn(missing_docs)]
 
 pub mod config;
 pub mod dynwarp;

@@ -19,16 +19,34 @@
 //! same per-SM `idle_cycles`/`empty_cycles` counters and throttle stall
 //! windows the per-cycle loop would have produced (see
 //! [`DynThrottle::sleep_sm`]), so [`crate::SimStats`] is bit-identical with
-//! the engine on or off. Stall cycles (locks, ports, throttle, MSHR
-//! backpressure) are never skippable by construction: any warp in such a
-//! state marks its SM's cycle non-quiescent.
+//! the engine on or off. Stall cycles from locks, ports, the throttle and
+//! the per-warp MSHR limit are never skippable by construction: any warp in
+//! such a state marks its SM's cycle non-quiescent.
+//!
+//! ## Quiescence under the event memory model
+//!
+//! [`crate::mem::MemoryModel::Event`] adds one external wake source: a warp
+//! blocked by memory back-pressure ([`crate::mem::MemGate`]) unblocks when
+//! an MSHR entry or DRAM-queue slot *drains*, not when a writeback lands.
+//! Such an SM reports [`crate::sm::StepOutcome::gated`] instead of
+//! `quiescent`; it still sleeps, but its wake-up cycle is the minimum of
+//! its own writeback wheel **and** the memory system's next capacity
+//! release ([`crate::mem::SharedMem::next_release`]), and the skipped span
+//! is credited as *stall* cycles with the per-warp MSHR-full/queue-full
+//! counters scaled in closed form ([`crate::sm::Sm::credit_gated`] — exact
+//! because the gate provably cannot open before the next release). SMs that
+//! sleep purely on writebacks never need a release wake-up: the gate only
+//! blocks warps the scan would classify gated, and capacity releases are
+//! processed lazily ([`crate::mem::SharedMem::advance_to`]) with the
+//! occupancy integrals credited piecewise at event times, which keeps them
+//! exact across arbitrarily long clock jumps.
 
 use grs_core::{DynThrottle, GpuConfig, LaunchPlan, ResourceKind, SchedulerKind};
 
 use crate::cache::Cache;
 use crate::dispatch::Dispatcher;
 use crate::kinfo::KernelInfo;
-use crate::mem::SharedMem;
+use crate::mem::{MemoryModel, SharedMem};
 use crate::sm::{Sm, SmMode};
 use crate::stats::SimStats;
 
@@ -50,7 +68,8 @@ pub struct Gpu {
 impl Gpu {
     /// Build the machine for one run. `fast_forward` enables the
     /// event-driven engine (results are identical either way; see the module
-    /// docs).
+    /// docs); `memory_model` selects the global-memory timing model.
+    #[allow(clippy::too_many_arguments)] // mirrors RunConfig knob-for-knob
     pub fn new(
         cfg: &GpuConfig,
         kinfo: &KernelInfo,
@@ -59,6 +78,7 @@ impl Gpu {
         dyn_throttle: bool,
         sharing: Option<ResourceKind>,
         fast_forward: bool,
+        memory_model: MemoryModel,
     ) -> Self {
         let units = cfg.sm.schedulers as usize;
         let register_sharing = sharing == Some(ResourceKind::Registers);
@@ -90,7 +110,7 @@ impl Gpu {
         };
         Gpu {
             sms,
-            shared: SharedMem::new(cfg.mem),
+            shared: SharedMem::with_model(cfg.mem, memory_model),
             throttle,
             dispatcher: Dispatcher::new(kinfo.kernel.grid_blocks),
             cfg: cfg.clone(),
@@ -129,9 +149,11 @@ impl Gpu {
         let lat = self.cfg.lat;
         let n = self.sms.len();
         // Per-SM wake-up cycle (u64::MAX: empty, nothing can ever wake it)
-        // and, for sleepers, the first slept cycle (for stats crediting).
+        // and, for sleepers, the first slept cycle (for stats crediting)
+        // plus whether the slept span is a memory-gated stall span.
         let mut wake_at = vec![0u64; n];
         let mut sleep_from: Vec<Option<u64>> = vec![None; n];
+        let mut sleep_gated = vec![false; n];
         let mut cycle = 0u64;
         while !self.finished() && cycle < max_cycles {
             if cycle > 0 {
@@ -146,7 +168,11 @@ impl Gpu {
                     continue;
                 }
                 if let Some(since) = sleep_from[i].take() {
-                    self.sms[i].credit_skipped(cycle - since);
+                    if sleep_gated[i] {
+                        self.sms[i].credit_gated(cycle - since);
+                    } else {
+                        self.sms[i].credit_skipped(cycle - since);
+                    }
                     self.throttle.wake_sm(i, cycle);
                 }
                 let out = self.sms[i].step(
@@ -157,9 +183,19 @@ impl Gpu {
                     &mut self.throttle,
                     &mut self.dispatcher,
                 );
-                wake_at[i] = if self.fast_forward && out.quiescent {
+                wake_at[i] = if self.fast_forward && (out.quiescent || out.gated) {
                     if out.live {
-                        match self.sms[i].next_wake() {
+                        let mut wake = self.sms[i].next_wake();
+                        if out.gated {
+                            // Memory back-pressure only lifts when an MSHR
+                            // entry or DRAM-queue slot drains: wake on the
+                            // next capacity release too.
+                            wake = match (wake, self.shared.next_release()) {
+                                (Some(a), Some(b)) => Some(a.min(b)),
+                                (a, b) => a.or(b),
+                            };
+                        }
+                        match wake {
                             Some(w) if w > cycle => w,
                             // A live-but-eventless SM can only be a
                             // (deadlocked) reference-path state; keep
@@ -174,6 +210,7 @@ impl Gpu {
                 };
                 if wake_at[i] > cycle + 1 {
                     sleep_from[i] = Some(cycle + 1);
+                    sleep_gated[i] = out.gated;
                     if out.live {
                         self.throttle.sleep_sm(i, cycle + 1);
                     }
@@ -190,13 +227,19 @@ impl Gpu {
             }
         }
         // Credit sleepers interrupted by grid completion or timeout.
-        for (sm, slept) in self.sms.iter_mut().zip(&sleep_from) {
+        for (i, (sm, slept)) in self.sms.iter_mut().zip(&sleep_from).enumerate() {
             if let Some(since) = slept {
                 if cycle > *since {
-                    sm.credit_skipped(cycle - since);
+                    if sleep_gated[i] {
+                        sm.credit_gated(cycle - since);
+                    } else {
+                        sm.credit_skipped(cycle - since);
+                    }
                 }
             }
         }
+        // Flush the event model's occupancy integrals through the end.
+        self.shared.finalize(cycle);
         self.collect(cycle, !self.finished())
     }
 
@@ -216,6 +259,8 @@ impl Gpu {
             stats.blocks_completed += sm.stats.blocks_completed;
             stats.lock_retries += sm.stats.lock_retries;
             stats.throttled_issues += sm.stats.throttled_issues;
+            stats.mshr_full_stalls += sm.stats.mshr_full_stalls;
+            stats.dram_queue_full_stalls += sm.stats.dram_queue_full_stalls;
             stats.max_resident_blocks = stats.max_resident_blocks.max(sm.stats.max_resident_blocks);
             stats.per_sm.push(sm.stats.clone());
         }

@@ -25,6 +25,10 @@ pub struct InstrMeta {
     pub op: Op,
     /// Destination register, [`NO_REG`] when the instruction writes none.
     pub dst: u16,
+    /// Line transactions one warp-level execution generates (0 for
+    /// non-global-memory instructions). The event-driven memory model's
+    /// issue gate reserves this much MSHR/DRAM-queue capacity up front.
+    pub mem_txns: u8,
     /// Classification bits, see the `FLAG_*` constants.
     flags: u8,
 }
@@ -34,6 +38,7 @@ const FLAG_SHARED_MEM: u8 = 1 << 1;
 const FLAG_SHARED_REG: u8 = 1 << 2;
 const FLAG_SHARED_SMEM: u8 = 1 << 3;
 const FLAG_EXIT: u8 = 1 << 4;
+const FLAG_GLOBAL_LOAD: u8 = 1 << 5;
 
 impl InstrMeta {
     /// Global-memory load or store?
@@ -58,6 +63,13 @@ impl InstrMeta {
     #[inline]
     pub fn uses_shared_smem(&self) -> bool {
         self.flags & FLAG_SHARED_SMEM != 0
+    }
+
+    /// Global-memory **load** (allocates an MSHR entry on an L2 miss under
+    /// the event-driven model)?
+    #[inline]
+    pub fn is_global_load(&self) -> bool {
+        self.flags & FLAG_GLOBAL_LOAD != 0
     }
 
     /// Warp retirement?
@@ -122,8 +134,15 @@ impl KernelInfo {
             .iter()
             .map(|i| {
                 let mut flags = 0u8;
+                let mut mem_txns = 0u8;
                 if i.op.is_global_mem() {
                     flags |= FLAG_GLOBAL_MEM;
+                    if let Op::LdGlobal(p) | Op::StGlobal(p) = i.op {
+                        if matches!(i.op, Op::LdGlobal(_)) {
+                            flags |= FLAG_GLOBAL_LOAD;
+                        }
+                        mem_txns = p.transactions().min(255) as u8;
+                    }
                 }
                 if i.op.is_shared_mem() {
                     flags |= FLAG_SHARED_MEM;
@@ -143,6 +162,7 @@ impl KernelInfo {
                     op_mask: i.operands().fold(0u64, |m, r| m | (1 << (r.0 as u64 & 63))),
                     op: i.op,
                     dst: i.dst.map(|d| d.0).unwrap_or(NO_REG),
+                    mem_txns,
                     flags,
                 }
             })
@@ -240,6 +260,12 @@ mod tests {
             assert_eq!(m.is_global_mem(), i.op.is_global_mem());
             assert_eq!(m.is_shared_mem(), i.op.is_shared_mem());
             assert_eq!(m.is_exit(), matches!(i.op, Op::Exit));
+            assert_eq!(m.is_global_load(), matches!(i.op, Op::LdGlobal(_)));
+            let expect_txns = match i.op {
+                Op::LdGlobal(p) | Op::StGlobal(p) => p.transactions().min(255) as u8,
+                _ => 0,
+            };
+            assert_eq!(m.mem_txns, expect_txns);
             assert_eq!(m.dst, i.dst.map(|d| d.0).unwrap_or(NO_REG));
             let expect_mask = i
                 .operands()

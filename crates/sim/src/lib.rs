@@ -17,6 +17,15 @@
 //! empty counters the per-cycle loop would have produced — statistics are
 //! bit-identical with [`RunConfig::fast_forward`] on or off.
 //!
+//! Global-memory timing comes in two selectable models
+//! ([`RunConfig::memory_model`]): the default **functional** model computes
+//! each transaction's full latency the cycle it issues, while the
+//! **event-driven** model ([`mem::EventMem`]) slices the L2 into memory
+//! partitions with finite MSHR tables and bounded DRAM queues whose
+//! back-pressure gates SM issue — congestion builds up *after* issue, the
+//! way it does in hardware. See `ARCHITECTURE.md` at the repository root
+//! for the full execution-path map.
+//!
 //! The top-level API is [`Simulator`]: configure a [`RunConfig`], call
 //! [`Simulator::run`] on a [`grs_isa::Kernel`], read the [`SimStats`].
 //!
@@ -39,6 +48,8 @@
 //! assert!(shared.ipc() > 0.0 && baseline.ipc() > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod block;
 pub mod cache;
 pub mod dispatch;
@@ -53,5 +64,6 @@ pub mod stats;
 pub mod warp;
 pub mod wheel;
 
+pub use mem::MemoryModel;
 pub use run::{RunConfig, SharingMode, Simulator};
 pub use stats::{MemStats, SimStats, SmStats};

@@ -1,22 +1,45 @@
 //! Global-memory subsystem: coalescer address generation, L1 → L2 → DRAM
-//! timing.
+//! timing, in two selectable models.
 //!
-//! Each SM owns an L1; the L2 tag store and the L2/DRAM bandwidth servers are
-//! shared by every SM (paper Table I: 16 KB L1 per core, 768 KB unified L2).
-//! Timing is computed functionally at issue: a transaction's completion cycle
-//! is `now + hit latency (+ L2 latency + L2 queue) (+ DRAM latency + DRAM
-//! queue)` depending on where it hits; tag state updates eagerly. This keeps
-//! the model deterministic and fast while preserving the contention effect
-//! the paper's analysis relies on (more resident blocks ⇒ bigger combined
-//! working set ⇒ more misses ⇒ longer queues).
+//! Each SM owns an L1; everything behind it is shared by every SM (paper
+//! Table I: 16 KB L1 per core, 768 KB unified L2). [`MemoryModel`] selects
+//! how the shared side is timed:
+//!
+//! * [`MemoryModel::Functional`] (the default): a unified L2 tag store plus
+//!   two bandwidth [`ServerQueue`]s. Timing is computed functionally at
+//!   issue — a transaction's completion cycle is `now + hit latency (+ L2
+//!   latency + L2 queue) (+ DRAM latency + DRAM queue)` depending on where
+//!   it hits; tag state updates eagerly. Deterministic and fast, and it
+//!   preserves the first-order contention effect the paper's analysis relies
+//!   on (more resident blocks ⇒ bigger combined working set ⇒ more misses ⇒
+//!   longer queues) — but all buffering is infinite, so congestion can never
+//!   push back on SM issue.
+//!
+//! * [`MemoryModel::Event`]: an event-driven memory-partition model
+//!   ([`EventMem`]). The L2 is sliced into `MemConfig::mem_partitions`
+//!   line-interleaved banks, each with its own tag slice, bank bandwidth
+//!   server, **MSHR table** and **bounded DRAM request queue**. An L2 miss
+//!   holds an MSHR entry (and a DRAM-queue slot for the service time) until
+//!   its fill returns, releases are scheduled on a calendar wheel
+//!   ([`TimingWheel`]), and a full table back-pressures SM issue through
+//!   [`MemGate`]. A second miss to a line whose fill is already in flight
+//!   **merges** into the existing entry instead of paying for another DRAM
+//!   access, and a tag hit on an in-flight line waits for the fill
+//!   (hit-under-miss). With unlimited entries (`mshr_entries = 0`,
+//!   `dram_queue_entries = 0`) and a single partition the event model
+//!   reproduces the functional timing bit for bit — the equivalence the
+//!   `event_memory_model` integration suite pins.
 
 use grs_core::MemConfig;
 use grs_isa::{GlobalPattern, LINE_BYTES};
+use serde::{Deserialize, Serialize};
 
 use crate::cache::{Cache, CacheOutcome};
+use crate::kinfo::InstrMeta;
 use crate::server::ServerQueue;
 use crate::stats::MemStats;
 use crate::warp::Warp;
+use crate::wheel::TimingWheel;
 
 /// Virtual-address layout constants. Each grid block owns a disjoint 8 MB
 /// span; kernel-shared tiles live in a separate high region.
@@ -44,24 +67,102 @@ pub mod layout {
 /// Jitter granularity (one cache line).
 pub(crate) const JITTER_UNIT: u64 = LINE_BYTES;
 
+/// Which timing model services the shared side of the memory system. See the
+/// module docs for the two models; `Functional` is the default and keeps
+/// every pre-existing configuration bit-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MemoryModel {
+    /// Issue-time latency formula over infinite buffering (the seed model).
+    Functional,
+    /// Event-driven per-partition L2 banks with MSHR tables and bounded
+    /// DRAM queues; finite buffers back-pressure SM issue.
+    Event,
+}
+
+/// Per-cycle issue-capacity snapshot of the event-driven memory system: the
+/// worst-case (minimum across partitions) free MSHR entries and DRAM-queue
+/// slots. The SM readiness scan blocks a global-memory instruction whose
+/// transaction count does not fit — the back-pressure that makes post-issue
+/// congestion visible to the paper's stall accounting. The functional model
+/// always reports [`MemGate::OPEN`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemGate {
+    /// Free MSHR entries in the fullest partition (`u32::MAX` = unlimited).
+    pub mshr_free: u32,
+    /// Free DRAM-queue slots in the fullest partition (`u32::MAX` =
+    /// unlimited).
+    pub dram_free: u32,
+}
+
+impl MemGate {
+    /// A gate that admits everything (functional model / unlimited buffers).
+    pub const OPEN: MemGate = MemGate {
+        mshr_free: u32::MAX,
+        dram_free: u32::MAX,
+    };
+
+    /// What, if anything, blocks issuing `meta` under this gate. A **load**
+    /// conservatively needs room for all its transactions in both the MSHR
+    /// table and the DRAM queue (any of them may miss to DRAM); a **store**
+    /// takes no MSHR, so only the DRAM queue gates it. The block class
+    /// depends only on the instruction kind — not on *which* resource ran
+    /// out — so a blocked warp's classification is stable for as long as it
+    /// stays blocked (free capacity only shrinks between releases), which is
+    /// what lets a gated sleep span be credited in closed form.
+    #[inline]
+    pub fn blocks(&self, meta: &InstrMeta) -> Option<GateBlock> {
+        if !meta.is_global_mem() {
+            return None;
+        }
+        let need = u32::from(meta.mem_txns);
+        if meta.is_global_load() {
+            if self.mshr_free < need || self.dram_free < need {
+                return Some(GateBlock::Mshr);
+            }
+        } else if self.dram_free < need {
+            return Some(GateBlock::DramQueue);
+        }
+        None
+    }
+}
+
+/// Why the issue gate blocked an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateBlock {
+    /// A load could not reserve MSHR/DRAM-queue capacity for its
+    /// transactions (counted as `mshr_full_stalls`).
+    Mshr,
+    /// A store could not reserve DRAM request-queue slots (counted as
+    /// `dram_queue_full_stalls`).
+    DramQueue,
+}
+
 /// Shared (cross-SM) part of the memory system.
 #[derive(Debug, Clone)]
 pub struct SharedMem {
-    /// Unified L2 tag store.
+    /// Unified L2 tag store (functional model).
     pub l2: Cache,
-    /// L2 bank / interconnect bandwidth.
+    /// L2 bank / interconnect bandwidth (functional model).
     pub l2_server: ServerQueue,
-    /// DRAM channel bandwidth.
+    /// DRAM channel bandwidth (functional model).
     pub dram_server: ServerQueue,
     /// Latency constants.
     pub cfg: MemConfig,
     /// Counters.
     pub stats: MemStats,
+    /// Event-driven partition state; `Some` iff the run uses
+    /// [`MemoryModel::Event`].
+    pub event: Option<EventMem>,
 }
 
 impl SharedMem {
-    /// Build from a memory configuration.
+    /// Build the functional (issue-time) model from a memory configuration.
     pub fn new(cfg: MemConfig) -> Self {
+        Self::with_model(cfg, MemoryModel::Functional)
+    }
+
+    /// Build with an explicit [`MemoryModel`].
+    pub fn with_model(cfg: MemConfig, model: MemoryModel) -> Self {
         SharedMem {
             l2: Cache::new(
                 u64::from(cfg.l2_bytes),
@@ -72,7 +173,47 @@ impl SharedMem {
             dram_server: ServerQueue::new(cfg.dram_service_q4),
             cfg,
             stats: MemStats::default(),
+            event: match model {
+                MemoryModel::Functional => None,
+                MemoryModel::Event => Some(EventMem::new(&cfg)),
+            },
         }
+    }
+
+    /// Is the event-driven model active?
+    #[inline]
+    pub fn is_event(&self) -> bool {
+        self.event.is_some()
+    }
+
+    /// Process every capacity release due by `now` and bring the occupancy
+    /// integrals up to date. Idempotent per cycle; the SM step loop calls it
+    /// before consulting the gate, so a clock jump settles lazily.
+    pub fn advance_to(&mut self, now: u64) {
+        if let Some(ev) = &mut self.event {
+            ev.advance_to(now, &mut self.stats);
+        }
+    }
+
+    /// Capacity snapshot for the SM readiness scan at `now` (call after
+    /// [`Self::advance_to`]).
+    pub fn issue_gate(&self) -> MemGate {
+        match &self.event {
+            Some(ev) => ev.gate(),
+            None => MemGate::OPEN,
+        }
+    }
+
+    /// Earliest pending MSHR/DRAM-queue release — the wake-up cycle for an
+    /// SM sleeping on memory back-pressure. `None` for the functional model
+    /// or when nothing is in flight.
+    pub fn next_release(&self) -> Option<u64> {
+        self.event.as_ref().and_then(|ev| ev.next_release())
+    }
+
+    /// Flush the occupancy integrals through the end of the run.
+    pub fn finalize(&mut self, end: u64) {
+        self.advance_to(end);
     }
 
     /// Timing for one **load** transaction to `addr` from the SM owning
@@ -119,6 +260,285 @@ impl SharedMem {
                 let queue_dram = self.dram_server.admit(now);
                 base + u64::from(self.cfg.l2_latency) + queue_l2 + queue_dram
                 // no dram_latency: stores are posted; only bandwidth matters
+            }
+        }
+    }
+
+    /// Event-model timing for one transaction; returns the **absolute
+    /// completion cycle**. Requires [`MemoryModel::Event`] and a preceding
+    /// [`Self::advance_to`] for `now`.
+    pub fn event_access(&mut self, l1: &mut Cache, addr: u64, now: u64, is_load: bool) -> u64 {
+        let cfg = self.cfg;
+        let ev = self
+            .event
+            .as_mut()
+            .expect("event_access requires MemoryModel::Event");
+        ev.access(l1, addr, now, is_load, &cfg, &mut self.stats)
+    }
+}
+
+/// A capacity release scheduled on the event wheel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Release {
+    /// A DRAM fill returned: free the MSHR entry holding `line` in partition
+    /// `part`.
+    Mshr {
+        /// Partition index.
+        part: u16,
+        /// Global line number of the filled line.
+        line: u64,
+    },
+    /// The DRAM channel of partition `part` finished a transaction: free its
+    /// request-queue slot.
+    DramSlot {
+        /// Partition index.
+        part: u16,
+    },
+}
+
+/// An in-flight L2 miss: the fill for `line` returns to the L2 slice at
+/// cycle `fill_at`. Later requests for the same line merge into the entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct MshrEntry {
+    line: u64,
+    fill_at: u64,
+}
+
+/// One memory partition: an L2 slice with its bank server, MSHR table and
+/// DRAM channel (bounded queue + bandwidth server).
+#[derive(Debug, Clone)]
+struct Partition {
+    l2: Cache,
+    l2_server: ServerQueue,
+    dram_server: ServerQueue,
+    /// Live MSHR entries (small; linear scan keeps lookups deterministic).
+    mshr: Vec<MshrEntry>,
+    /// DRAM request-queue slots currently held.
+    dram_in_queue: u32,
+}
+
+/// Event-driven memory-partition model (see the module docs). Capacity
+/// releases live on a calendar wheel and are processed lazily — the step
+/// loop advances the model to "now" before consulting the gate — so the
+/// occupancy integrals in [`MemStats`] are exact even across fast-forward
+/// clock jumps (each release credits `occupancy × elapsed` in closed form).
+#[derive(Debug, Clone)]
+pub struct EventMem {
+    parts: Vec<Partition>,
+    releases: TimingWheel<Release>,
+    release_buf: Vec<(u64, Release)>,
+    /// Per-partition limits; 0 = unlimited (tracking disabled).
+    mshr_limit: u32,
+    dram_queue_limit: u32,
+    /// Totals across partitions, for the occupancy integrals.
+    total_mshr: u32,
+    total_dram: u32,
+    /// Cycle the integrals are valid through.
+    clock: u64,
+}
+
+impl EventMem {
+    /// Build the partitioned model from `cfg` (see the `MemConfig` fields
+    /// `mem_partitions`, `mshr_entries`, `dram_queue_entries`).
+    pub fn new(cfg: &MemConfig) -> Self {
+        let parts_n = cfg.mem_partitions.max(1);
+        let slice_bytes = (u64::from(cfg.l2_bytes) / u64::from(parts_n))
+            .max(u64::from(cfg.line_bytes) * u64::from(cfg.l2_ways.max(1)));
+        let parts = (0..parts_n)
+            .map(|_| Partition {
+                l2: Cache::new(slice_bytes, cfg.l2_ways, u64::from(cfg.line_bytes)),
+                // Per-bank service is `partitions`× slower than the
+                // functional aggregate so total bandwidth matches.
+                l2_server: ServerQueue::new(cfg.l2_service_q4.saturating_mul(parts_n)),
+                dram_server: ServerQueue::new(cfg.dram_service_q4.saturating_mul(parts_n)),
+                mshr: Vec::new(),
+                dram_in_queue: 0,
+            })
+            .collect();
+        EventMem {
+            parts,
+            releases: TimingWheel::new(),
+            release_buf: Vec::new(),
+            mshr_limit: cfg.mshr_entries,
+            dram_queue_limit: cfg.dram_queue_entries,
+            total_mshr: 0,
+            total_dram: 0,
+            clock: 0,
+        }
+    }
+
+    /// Credit `occupancy × elapsed` for both resources up to `to`.
+    fn integrate(&mut self, to: u64, stats: &mut MemStats) {
+        let span = to.saturating_sub(self.clock);
+        if span > 0 {
+            stats.mshr_occupancy_cycles += span * u64::from(self.total_mshr);
+            stats.dram_queue_occupancy_cycles += span * u64::from(self.total_dram);
+            self.clock = to;
+        }
+    }
+
+    /// Process releases due by `now`, integrating occupancy piecewise at
+    /// each release cycle (exact across arbitrarily long jumps).
+    fn advance_to(&mut self, now: u64, stats: &mut MemStats) {
+        while let Some(due) = self.releases.next_due() {
+            if due > now {
+                break;
+            }
+            self.integrate(due, stats);
+            let mut buf = std::mem::take(&mut self.release_buf);
+            self.releases.drain_due_into(due, &mut buf);
+            for &(_, r) in &buf {
+                match r {
+                    Release::Mshr { part, line } => {
+                        let mshr = &mut self.parts[part as usize].mshr;
+                        let i = mshr
+                            .iter()
+                            .position(|e| e.line == line)
+                            .expect("release for a live MSHR entry");
+                        mshr.swap_remove(i);
+                        self.total_mshr -= 1;
+                    }
+                    Release::DramSlot { part } => {
+                        self.parts[part as usize].dram_in_queue -= 1;
+                        self.total_dram -= 1;
+                    }
+                }
+            }
+            self.release_buf = buf;
+        }
+        self.integrate(now, stats);
+    }
+
+    /// Worst-case free capacity across partitions. Soft-limit semantics: an
+    /// *empty* table accepts any instruction whole (even one whose
+    /// transaction count exceeds the nominal limit), which is what makes
+    /// finite tables deadlock-free — entries drain on their own, so a
+    /// blocked instruction always eventually sees an empty table.
+    fn gate(&self) -> MemGate {
+        let mut gate = MemGate::OPEN;
+        for p in &self.parts {
+            if self.mshr_limit > 0 && !p.mshr.is_empty() {
+                let free = self.mshr_limit.saturating_sub(p.mshr.len() as u32);
+                gate.mshr_free = gate.mshr_free.min(free);
+            }
+            if self.dram_queue_limit > 0 && p.dram_in_queue > 0 {
+                let free = self.dram_queue_limit.saturating_sub(p.dram_in_queue);
+                gate.dram_free = gate.dram_free.min(free);
+            }
+        }
+        gate
+    }
+
+    /// Earliest pending capacity release, if any.
+    fn next_release(&self) -> Option<u64> {
+        self.releases.next_due()
+    }
+
+    /// Partition index and partition-local probe address of `addr`
+    /// (line-interleaved slicing; the local address renumbers the
+    /// partition's lines densely so each slice uses all its sets).
+    #[inline]
+    fn route(&self, addr: u64, line_bytes: u64) -> (usize, u64, u64) {
+        let line = addr / line_bytes;
+        let part = (line % self.parts.len() as u64) as usize;
+        let local_addr = (line / self.parts.len() as u64) * line_bytes;
+        (part, line, local_addr)
+    }
+
+    /// Time one transaction; returns the absolute completion cycle. Tag
+    /// state updates eagerly (as in the functional model); MSHR entries and
+    /// DRAM-queue slots are held via wheel-scheduled releases.
+    fn access(
+        &mut self,
+        l1: &mut Cache,
+        addr: u64,
+        now: u64,
+        is_load: bool,
+        cfg: &MemConfig,
+        stats: &mut MemStats,
+    ) -> u64 {
+        debug_assert!(self.clock == now, "advance_to(now) must precede access");
+        stats.transactions += 1;
+        let base = u64::from(cfg.l1_hit_latency);
+        if is_load {
+            if l1.access(addr) == CacheOutcome::Hit {
+                stats.l1_hits += 1;
+                return now + base;
+            }
+            stats.l1_misses += 1;
+        } else {
+            l1.access_store(addr);
+        }
+        let (part, line, local_addr) = self.route(addr, u64::from(cfg.line_bytes));
+        let p = &mut self.parts[part];
+        let queue_l2 = p.l2_server.admit(now);
+        let l2_time = now + base + u64::from(cfg.l2_latency) + queue_l2;
+        if !is_load {
+            // Write-through, no allocate: stores consume bandwidth (and a
+            // DRAM-queue slot on an L2 miss) but hold no MSHR entry.
+            return match p.l2.access_store(local_addr) {
+                CacheOutcome::Hit => l2_time,
+                CacheOutcome::Miss => {
+                    let (queue_dram, service_end) = p.dram_server.admit_timed(now);
+                    if self.dram_queue_limit > 0 {
+                        p.dram_in_queue += 1;
+                        self.total_dram += 1;
+                        stats.peak_dram_queue_occupancy =
+                            stats.peak_dram_queue_occupancy.max(p.dram_in_queue);
+                        self.releases
+                            .push(service_end, Release::DramSlot { part: part as u16 });
+                    }
+                    l2_time + queue_dram // posted: no dram_latency
+                }
+            };
+        }
+        let outcome = p.l2.access(local_addr);
+        if self.mshr_limit > 0 {
+            // Hit-under-miss / miss merging: any request touching a line
+            // whose fill is still in flight completes with that fill.
+            if let Some(e) = p.mshr.iter().find(|e| e.line == line) {
+                match outcome {
+                    CacheOutcome::Hit => stats.l2_hits += 1,
+                    CacheOutcome::Miss => stats.l2_misses += 1,
+                }
+                stats.mshr_merges += 1;
+                return l2_time.max(e.fill_at + base);
+            }
+        }
+        match outcome {
+            CacheOutcome::Hit => {
+                stats.l2_hits += 1;
+                l2_time
+            }
+            CacheOutcome::Miss => {
+                stats.l2_misses += 1;
+                let (queue_dram, service_end) = p.dram_server.admit_timed(now);
+                let fill_at = now
+                    + u64::from(cfg.l2_latency)
+                    + queue_l2
+                    + u64::from(cfg.dram_latency)
+                    + queue_dram;
+                if self.mshr_limit > 0 {
+                    p.mshr.push(MshrEntry { line, fill_at });
+                    self.total_mshr += 1;
+                    stats.peak_mshr_occupancy = stats.peak_mshr_occupancy.max(p.mshr.len() as u32);
+                    self.releases.push(
+                        fill_at,
+                        Release::Mshr {
+                            part: part as u16,
+                            line,
+                        },
+                    );
+                }
+                if self.dram_queue_limit > 0 {
+                    p.dram_in_queue += 1;
+                    self.total_dram += 1;
+                    stats.peak_dram_queue_occupancy =
+                        stats.peak_dram_queue_occupancy.max(p.dram_in_queue);
+                    self.releases
+                        .push(service_end, Release::DramSlot { part: part as u16 });
+                }
+                fill_at + base
             }
         }
     }

@@ -9,6 +9,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::gpu::Gpu;
 use crate::kinfo::KernelInfo;
+use crate::mem::MemoryModel;
 use crate::stats::SimStats;
 
 /// Whether (and which) resource sharing is active for a run.
@@ -36,6 +37,33 @@ impl SharingMode {
 /// Full configuration of one simulation run. The named constructors cover
 /// every configuration the paper evaluates; the `with_*` methods tweak
 /// individual knobs for ablations.
+///
+/// # Example
+///
+/// The paper's register-sharing machine with GTO scheduling and the
+/// event-driven memory model, on a 2-SM machine for a quick run:
+///
+/// ```
+/// use grs_core::SchedulerKind;
+/// use grs_isa::{GlobalPattern, KernelBuilder};
+/// use grs_sim::{MemoryModel, RunConfig, SharingMode, Simulator};
+///
+/// let mut cfg = RunConfig::paper_register_sharing()
+///     .with_scheduler(SchedulerKind::Gto)
+///     .with_memory_model(MemoryModel::Event);
+/// assert_eq!(cfg.sharing, SharingMode::Registers);
+/// cfg.gpu.num_sms = 2;
+///
+/// let kernel = KernelBuilder::new("stream")
+///     .threads_per_block(128)
+///     .regs_per_thread(24)
+///     .grid_blocks(8)
+///     .ld_global(GlobalPattern::Stream)
+///     .ffma(2)
+///     .build();
+/// let stats = Simulator::new(cfg).run(&kernel);
+/// assert_eq!(stats.blocks_completed, 8);
+/// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunConfig {
     /// Machine description (Table I by default).
@@ -56,6 +84,12 @@ pub struct RunConfig {
     /// are bit-identical with the engine on or off; the knob exists so tests
     /// and benches can diff the fast path against the per-cycle reference.
     pub fast_forward: bool,
+    /// How the shared memory system is timed (see the `grs_sim::mem` module
+    /// docs). `Functional` (the default) computes each transaction's full
+    /// latency at issue over infinite buffering; `Event` models
+    /// per-partition L2 banks with finite MSHR tables and bounded DRAM
+    /// queues whose back-pressure gates SM issue.
+    pub memory_model: MemoryModel,
     /// Safety bound on simulated cycles.
     pub max_cycles: u64,
 }
@@ -74,6 +108,7 @@ impl RunConfig {
             dyn_throttle: false,
             reorder_decls: false,
             fast_forward: true,
+            memory_model: MemoryModel::Functional,
             max_cycles: Self::DEFAULT_MAX_CYCLES,
         }
     }
@@ -153,6 +188,12 @@ impl RunConfig {
     /// off runs the cycle-by-cycle reference loop — same statistics, slower).
     pub fn with_fast_forward(mut self, on: bool) -> Self {
         self.fast_forward = on;
+        self
+    }
+
+    /// Replace the memory model (`Functional` by default).
+    pub fn with_memory_model(mut self, m: MemoryModel) -> Self {
+        self.memory_model = m;
         self
     }
 
@@ -261,6 +302,7 @@ impl Simulator {
             self.cfg.dyn_throttle,
             self.cfg.sharing.resource(),
             self.cfg.fast_forward,
+            self.cfg.memory_model,
         );
         Ok(gpu.run(&kinfo, self.cfg.max_cycles))
     }

@@ -17,7 +17,7 @@
 //!
 //! ## Incremental readiness
 //!
-//! The scan is incremental: each warp slot carries a [`SlotScan`] state and
+//! The scan is incremental: each warp slot carries a `SlotScan` state and
 //! the cached [`WarpView`] from its last evaluation. A warp blocked purely on
 //! conditions that only a writeback drain or an issue on this SM can change —
 //! scoreboard hazard, exit drain, barrier wait — is *stable*: its cached view
@@ -49,10 +49,35 @@ use crate::block::{pairing_of_slot, Block, PairLocks, Pairing};
 use crate::cache::Cache;
 use crate::dispatch::Dispatcher;
 use crate::kinfo::KernelInfo;
-use crate::mem::{generate_addresses, SharedMem};
+use crate::mem::{generate_addresses, GateBlock, MemGate, SharedMem};
 use crate::stats::SmStats;
 use crate::warp::{Warp, NO_REG};
-use crate::wheel::{TimingWheel, Writeback};
+use crate::wheel::TimingWheel;
+
+/// Payload of one completion event on the SM's timing wheel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Writeback {
+    /// Target warp slot.
+    pub slot: u32,
+    /// Register to clear ([`NO_REG`] for none); unused by `MemTxn` events,
+    /// whose register lives in the warp's pending-group table.
+    pub reg: u16,
+    /// What completed.
+    pub kind: WbKind,
+}
+
+/// Kind of completion a [`Writeback`] delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WbKind {
+    /// An ALU/SFU/scratchpad result.
+    Alu,
+    /// A whole global-memory instruction (functional memory model: one
+    /// event at the max transaction latency).
+    MemInstr,
+    /// One transaction of pending-group `.0` (event memory model: the group
+    /// coalesces its transactions into a single warp wake-up on the last).
+    MemTxn(u16),
+}
 
 /// Scan bookkeeping for one warp slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +94,27 @@ enum SlotScan {
     /// MSHR-full — evaluation has per-cycle side effects (stat counters,
     /// RNG draws) or can change without time passing.
     Volatile,
+    /// Blocked solely by event-memory-model back-pressure ([`MemGate`]).
+    /// Re-evaluated every stepped cycle (the per-cycle block counters are
+    /// side effects), but — unlike [`SlotScan::Volatile`] — it does not
+    /// prevent the SM from sleeping: the block can only end at a capacity
+    /// release, whose cycle the memory system knows, and the skipped span's
+    /// accounting is credited in closed form ([`Sm::credit_gated`]).
+    Gated,
+}
+
+/// How a warp's evaluation left it blocked, as the scan summary needs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Blocked {
+    /// Not blocked (ready, or waiting without stalling).
+    No,
+    /// Pipeline stall (lock busy-wait, per-warp MSHR limit): never
+    /// skippable.
+    Hard,
+    /// Event-model MSHR back-pressure: stall cycles, but sleepable.
+    GateMshr,
+    /// Event-model DRAM-queue back-pressure: stall cycles, but sleepable.
+    GateDram,
 }
 
 /// Aggregate outcome of one readiness scan.
@@ -78,14 +124,28 @@ struct ScanSummary {
     any_stall: bool,
     any_volatile: bool,
     any_ready: bool,
+    /// Warps blocked by the memory gate this cycle (MSHR, DRAM queue).
+    gate_mshr: u32,
+    gate_dram: u32,
 }
 
 impl ScanSummary {
     #[inline]
-    fn note(&mut self, view: &WarpView, state: SlotScan, stall: bool) {
-        self.any_stall |= stall;
+    fn note(&mut self, view: &WarpView, state: SlotScan, blocked: Blocked) {
+        match blocked {
+            Blocked::No => {}
+            Blocked::Hard => self.any_stall = true,
+            Blocked::GateMshr => self.gate_mshr += 1,
+            Blocked::GateDram => self.gate_dram += 1,
+        }
         self.any_volatile |= state == SlotScan::Volatile;
         self.any_ready |= view.ready;
+    }
+
+    /// Any warp blocked by the memory gate?
+    #[inline]
+    fn any_gated(&self) -> bool {
+        self.gate_mshr + self.gate_dram > 0
     }
 }
 
@@ -107,6 +167,12 @@ pub struct StepOutcome {
     /// Zero issues, no stall reason, no volatile warp: nothing on this SM
     /// can change before its next writeback drains.
     pub quiescent: bool,
+    /// Like `quiescent`, except ≥1 warp is blocked by event-memory-model
+    /// back-pressure: the SM may sleep, but it must also wake on the next
+    /// MSHR/DRAM-queue release and the skipped span counts as *stall*
+    /// cycles, credited by [`Sm::credit_gated`]. Mutually exclusive with
+    /// `quiescent`.
+    pub gated: bool,
 }
 
 /// One streaming multiprocessor.
@@ -130,12 +196,15 @@ pub struct Sm {
     sched: Scheduler,
     units: usize,
     next_dyn_id: u64,
-    writebacks: TimingWheel,
+    writebacks: TimingWheel<Writeback>,
     // Incremental-scan state.
     scan_state: Vec<SlotScan>,
     view_pos: Vec<u32>,
     live_warp_count: u32,
     structural: bool,
+    /// Gate-blocked warp counts `(mshr, dram)` from the latest scan, kept
+    /// for closed-form crediting of a gated sleep span.
+    last_gate_blocks: (u32, u32),
     /// With `incremental` off (the `fast_forward: false` reference mode)
     /// every scan rebuilds every view from scratch and ready-less cycles
     /// still walk the scheduler units — the seed's exact per-cycle
@@ -145,7 +214,7 @@ pub struct Sm {
     // per-cycle scratch, reused to avoid allocation
     views: Vec<WarpView>,
     addr_buf: Vec<u64>,
-    wb_scratch: Vec<Writeback>,
+    wb_scratch: Vec<(u64, Writeback)>,
 }
 
 const NO_VIEW: u32 = u32::MAX;
@@ -189,6 +258,7 @@ impl Sm {
             view_pos: vec![NO_VIEW; slots * wpb],
             live_warp_count: 0,
             structural: true,
+            last_gate_blocks: (0, 0),
             incremental: mode.incremental,
             views: Vec::with_capacity(slots * wpb),
             addr_buf: Vec::with_capacity(32),
@@ -226,6 +296,17 @@ impl Sm {
         } else {
             self.stats.empty_cycles += span;
         }
+    }
+
+    /// Credit `span` cycles slept under memory back-pressure
+    /// ([`StepOutcome::gated`]) in closed form: each skipped cycle would have
+    /// counted one pipeline-stall cycle and re-blocked the same warps (the
+    /// gate can only open at a capacity release, which bounds the span), so
+    /// the per-cycle counters scale linearly with the span.
+    pub fn credit_gated(&mut self, span: u64) {
+        self.stats.stall_cycles += span;
+        self.stats.mshr_full_stalls += span * u64::from(self.last_gate_blocks.0);
+        self.stats.dram_queue_full_stalls += span * u64::from(self.last_gate_blocks.1);
     }
 
     /// Launch grid block `grid_id` into the first free slot. Panics if no
@@ -271,8 +352,10 @@ impl Sm {
         dispatcher: &mut Dispatcher,
     ) -> StepOutcome {
         self.drain_writebacks(now);
+        shared.advance_to(now); // event model: settle capacity releases
         let max_pending = shared.cfg.max_pending_per_warp;
-        let scan = self.scan_readiness(kinfo, throttle, max_pending);
+        let gate = shared.issue_gate();
+        let scan = self.scan_readiness(kinfo, throttle, max_pending, gate);
 
         let mut issued = 0u32;
         let mut port_conflict = false;
@@ -314,7 +397,7 @@ impl Sm {
         }
 
         if issued == 0 {
-            if scan.any_stall || port_conflict {
+            if scan.any_stall || port_conflict || scan.any_gated() {
                 self.stats.stall_cycles += 1;
             } else if scan.any_live {
                 self.stats.idle_cycles += 1;
@@ -329,20 +412,33 @@ impl Sm {
             }
         }
 
+        self.last_gate_blocks = (scan.gate_mshr, scan.gate_dram);
+        let sleepable = issued == 0 && !scan.any_stall && !port_conflict && !scan.any_volatile;
         StepOutcome {
             live: scan.any_live,
-            quiescent: issued == 0 && !scan.any_stall && !port_conflict && !scan.any_volatile,
+            quiescent: sleepable && !scan.any_gated(),
+            gated: sleepable && scan.any_gated(),
         }
     }
 
     fn drain_writebacks(&mut self, now: u64) {
         self.writebacks.drain_due_into(now, &mut self.wb_scratch);
-        for &(_, wslot, reg, is_mem) in &self.wb_scratch {
-            let slot = wslot as usize;
+        for &(_, wb) in &self.wb_scratch {
+            let slot = wb.slot as usize;
             if let Some(w) = self.warps[slot].as_mut() {
-                w.clear_pending(reg);
-                if is_mem {
-                    w.outstanding_mem = w.outstanding_mem.saturating_sub(1);
+                match wb.kind {
+                    WbKind::Alu => w.clear_pending(wb.reg),
+                    WbKind::MemInstr => {
+                        w.clear_pending(wb.reg);
+                        w.outstanding_mem = w.outstanding_mem.saturating_sub(1);
+                    }
+                    // Intermediate transactions of a group dirty the slot
+                    // harmlessly (a still-blocked warp re-evaluates to the
+                    // same view with no side effects); the group's last
+                    // transaction is the real wake-up.
+                    WbKind::MemTxn(group) => {
+                        w.mem_txn_done(group);
+                    }
                 }
                 if self.scan_state[slot] == SlotScan::Stable {
                     self.scan_state[slot] = SlotScan::Dirty;
@@ -384,12 +480,15 @@ impl Sm {
         kinfo: &KernelInfo,
         throttle: &mut DynThrottle,
         max_pending: u32,
+        gate: MemGate,
     ) -> ScanSummary {
         let mut summary = ScanSummary {
             any_live: self.live_warp_count > 0,
             any_stall: false,
             any_volatile: false,
             any_ready: false,
+            gate_mshr: 0,
+            gate_dram: 0,
         };
         if self.structural || !self.incremental {
             self.structural = false;
@@ -401,8 +500,9 @@ impl Sm {
                     self.view_pos[slot] = NO_VIEW;
                     continue;
                 }
-                let (view, state, stall) = self.eval_warp(slot, kinfo, throttle, max_pending);
-                summary.note(&view, state, stall);
+                let (view, state, blocked) =
+                    self.eval_warp(slot, kinfo, throttle, max_pending, gate);
+                summary.note(&view, state, blocked);
                 self.scan_state[slot] = state;
                 self.view_pos[slot] = self.views.len() as u32;
                 self.views.push(view);
@@ -411,10 +511,10 @@ impl Sm {
             for slot in 0..self.warps.len() {
                 match self.scan_state[slot] {
                     SlotScan::Vacant | SlotScan::Stable => {}
-                    SlotScan::Dirty | SlotScan::Volatile => {
-                        let (view, state, stall) =
-                            self.eval_warp(slot, kinfo, throttle, max_pending);
-                        summary.note(&view, state, stall);
+                    SlotScan::Dirty | SlotScan::Volatile | SlotScan::Gated => {
+                        let (view, state, blocked) =
+                            self.eval_warp(slot, kinfo, throttle, max_pending, gate);
+                        summary.note(&view, state, blocked);
                         self.scan_state[slot] = state;
                         self.views[self.view_pos[slot] as usize] = view;
                     }
@@ -433,7 +533,8 @@ impl Sm {
         kinfo: &KernelInfo,
         throttle: &mut DynThrottle,
         max_pending: u32,
-    ) -> (WarpView, SlotScan, bool) {
+        gate: MemGate,
+    ) -> (WarpView, SlotScan, Blocked) {
         let w = self.warps[slot].as_ref().expect("evaluating a live warp");
         let block = self.blocks[w.block_slot as usize]
             .as_ref()
@@ -463,7 +564,7 @@ impl Sm {
         };
 
         let mut ready = false;
-        let mut stall = false;
+        let mut blocked = Blocked::No;
         let mut state = SlotScan::Stable;
         if !w.at_barrier {
             let meta = &kinfo.meta[w.pc as usize];
@@ -475,10 +576,32 @@ impl Sm {
                 // memory pipeline cannot accept it — a *pipeline stall*
                 // in the paper's Sec. VI-B accounting (and the signal
                 // the Sec. IV-C throttle monitors).
-                stall = true;
+                blocked = Blocked::Hard;
                 state = SlotScan::Volatile;
             }
+            let mut gated = false;
             if !hazard && !drain_for_exit && !mshr_full {
+                // Event-model issue gate: the shared memory system cannot
+                // take this instruction's transactions. Same stall class as
+                // `mshr_full`, but sleepable (see `SlotScan::Gated`).
+                match gate.blocks(meta) {
+                    Some(GateBlock::Mshr) => {
+                        blocked = Blocked::GateMshr;
+                        self.stats.mshr_full_stalls += 1;
+                        gated = true;
+                    }
+                    Some(GateBlock::DramQueue) => {
+                        blocked = Blocked::GateDram;
+                        self.stats.dram_queue_full_stalls += 1;
+                        gated = true;
+                    }
+                    None => {}
+                }
+                if gated {
+                    state = SlotScan::Gated;
+                }
+            }
+            if !hazard && !drain_for_exit && !mshr_full && !gated {
                 state = SlotScan::Volatile;
                 ready = true;
                 // Pair-lock busy-wait (Fig. 3 / Fig. 4 step (e)): the
@@ -522,7 +645,7 @@ impl Sm {
                 ready,
             },
             state,
-            stall,
+            blocked,
         )
     }
 
@@ -545,6 +668,22 @@ impl Sm {
             (w.pc as usize, w.block_slot, w.warp_in_block, b.pairing)
         };
         let meta = kinfo.meta[pc];
+
+        // Re-check the event-model issue gate: a peer scheduler unit's issue
+        // this cycle may have consumed the capacity the readiness scan saw.
+        // Nothing has been mutated yet, so bailing out is side-effect-free
+        // (like a lost same-cycle lock race below).
+        match shared.issue_gate().blocks(&meta) {
+            Some(GateBlock::Mshr) => {
+                self.stats.mshr_full_stalls += 1;
+                return false;
+            }
+            Some(GateBlock::DramQueue) => {
+                self.stats.dram_queue_full_stalls += 1;
+                return false;
+            }
+            None => {}
+        }
 
         // Acquire pair locks for real (a peer scheduler unit may have taken
         // them since the readiness scan). A grant may flip the pair's lock
@@ -624,15 +763,6 @@ impl Sm {
                     let grid_id = self.blocks[block_slot as usize].as_ref().unwrap().grid_id;
                     generate_addresses(p, w, grid_id, &mut self.addr_buf);
                     let is_load = matches!(meta.op, Op::LdGlobal(_));
-                    let mut max_lat = 0u64;
-                    for &addr in &self.addr_buf {
-                        let l = if is_load {
-                            shared.load(&mut self.l1, addr, now)
-                        } else {
-                            shared.store(&mut self.l1, addr, now)
-                        };
-                        max_lat = max_lat.max(l);
-                    }
                     let reg = if is_load {
                         if meta.dst != NO_REG {
                             w.mark_pending(meta.dst);
@@ -642,8 +772,43 @@ impl Sm {
                         NO_REG
                     };
                     w.outstanding_mem += 1;
-                    self.writebacks
-                        .push((now + max_lat, slot as u32, reg, true));
+                    if shared.is_event() {
+                        // Event model: each transaction runs the partition
+                        // pipeline and schedules its own completion; the
+                        // group coalesces them into one warp wake-up.
+                        let group = w.alloc_mem_group(reg, self.addr_buf.len() as u32);
+                        for &addr in &self.addr_buf {
+                            let done = shared.event_access(&mut self.l1, addr, now, is_load);
+                            self.writebacks.push(
+                                done,
+                                Writeback {
+                                    slot: slot as u32,
+                                    reg: NO_REG,
+                                    kind: WbKind::MemTxn(group),
+                                },
+                            );
+                        }
+                    } else {
+                        // Functional model: one completion at the slowest
+                        // transaction's issue-time latency.
+                        let mut max_lat = 0u64;
+                        for &addr in &self.addr_buf {
+                            let l = if is_load {
+                                shared.load(&mut self.l1, addr, now)
+                            } else {
+                                shared.store(&mut self.l1, addr, now)
+                            };
+                            max_lat = max_lat.max(l);
+                        }
+                        self.writebacks.push(
+                            now + max_lat,
+                            Writeback {
+                                slot: slot as u32,
+                                reg,
+                                kind: WbKind::MemInstr,
+                            },
+                        );
+                    }
                     w.pc += 1;
                 }
                 Op::Barrier => {
@@ -758,11 +923,18 @@ fn advance_alu(
     now: u64,
     latency: u64,
     slot: usize,
-    writebacks: &mut TimingWheel,
+    writebacks: &mut TimingWheel<Writeback>,
 ) {
     if dst != NO_REG {
         w.mark_pending(dst);
-        writebacks.push((now + latency, slot as u32, dst, false));
+        writebacks.push(
+            now + latency,
+            Writeback {
+                slot: slot as u32,
+                reg: dst,
+                kind: WbKind::Alu,
+            },
+        );
     }
     w.pc += 1;
 }

@@ -27,6 +27,15 @@ pub struct SmStats {
     pub lock_retries: u64,
     /// Non-owner memory instructions suppressed by the dynamic throttle.
     pub throttled_issues: u64,
+    /// Warp-cycles a global **load** was blocked by event-memory-model
+    /// back-pressure: the MSHR table (or the DRAM queue behind it) could not
+    /// reserve room for its transactions. Always 0 under the functional
+    /// model.
+    pub mshr_full_stalls: u64,
+    /// Warp-cycles a global **store** was blocked by a full DRAM request
+    /// queue (stores take no MSHR entry). Always 0 under the functional
+    /// model.
+    pub dram_queue_full_stalls: u64,
 }
 
 /// Memory-hierarchy counters.
@@ -42,6 +51,23 @@ pub struct MemStats {
     pub l2_misses: u64,
     /// Total global-memory transactions issued by coalescers.
     pub transactions: u64,
+    /// Event model: requests that merged into an in-flight MSHR entry for
+    /// the same line (hit-under-miss / miss merging) instead of paying for
+    /// another DRAM access.
+    pub mshr_merges: u64,
+    /// Event model: sum over cycles of occupied MSHR entries (all
+    /// partitions) — the integral `∫ occupancy dt`, credited in closed form
+    /// at release events so it is exact across fast-forward jumps. Divide by
+    /// `SimStats::cycles` for the mean outstanding-miss count.
+    pub mshr_occupancy_cycles: u64,
+    /// Event model: sum over cycles of held DRAM request-queue slots (all
+    /// partitions); exact across fast-forward jumps like
+    /// [`Self::mshr_occupancy_cycles`].
+    pub dram_queue_occupancy_cycles: u64,
+    /// Event model: most MSHR entries ever occupied in one partition.
+    pub peak_mshr_occupancy: u32,
+    /// Event model: most DRAM-queue slots ever held in one partition.
+    pub peak_dram_queue_occupancy: u32,
 }
 
 impl MemStats {
@@ -65,6 +91,33 @@ fn ratio(num: u64, den: u64) -> f64 {
 }
 
 /// Whole-run statistics returned by [`crate::Simulator::run`].
+///
+/// # Example
+///
+/// The paper's metrics are ratios over these counters: IPC is thread
+/// instructions per cycle, and the Fig. 9(c,d) decomposition compares
+/// stall/idle cycles against a baseline run:
+///
+/// ```
+/// use grs_sim::SimStats;
+///
+/// let baseline = SimStats {
+///     cycles: 1_000,
+///     thread_instrs: 8_000,
+///     stall_cycles: 400,
+///     ..Default::default()
+/// };
+/// let shared = SimStats {
+///     cycles: 800,
+///     thread_instrs: 8_000,
+///     stall_cycles: 300,
+///     ..Default::default()
+/// };
+/// assert_eq!(baseline.ipc(), 8.0);
+/// assert_eq!(shared.ipc(), 10.0);
+/// assert_eq!(shared.ipc_improvement_pct(&baseline), 25.0);
+/// assert_eq!(shared.stall_decrease_pct(&baseline), 25.0);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct SimStats {
     /// Total simulated cycles.
@@ -89,6 +142,11 @@ pub struct SimStats {
     pub lock_retries: u64,
     /// Throttle suppressions.
     pub throttled_issues: u64,
+    /// Sum of per-SM load-side memory-gate stalls (event model; see
+    /// [`SmStats::mshr_full_stalls`]).
+    pub mshr_full_stalls: u64,
+    /// Sum of per-SM store-side memory-gate stalls (event model).
+    pub dram_queue_full_stalls: u64,
     /// Memory counters.
     pub mem: MemStats,
     /// Per-SM breakdown.
@@ -193,6 +251,7 @@ mod tests {
             l2_hits: 20,
             l2_misses: 5,
             transactions: 100,
+            ..Default::default()
         };
         assert!((m.l1_miss_ratio() - 0.25).abs() < 1e-12);
         assert!((m.l2_miss_ratio() - 0.2).abs() < 1e-12);

@@ -1,23 +1,26 @@
-//! Bucketed calendar queue ("timing wheel") for writeback events.
+//! Bucketed calendar queue ("timing wheel") for absolute-cycle events.
 //!
-//! The per-cycle hot path of [`crate::sm::Sm`] needs three operations:
-//! schedule a completion at an absolute cycle, drain everything due at the
-//! current cycle, and — for the fast-forward engine — report the earliest
-//! pending completion. A binary heap does all three but pays `O(log n)` per
-//! event and per-cycle peek churn; a calendar queue makes the common case a
-//! constant-time bucket append/drain and keeps the exact minimum on hand.
+//! The per-cycle hot paths of the simulator need three operations: schedule
+//! an event at an absolute cycle, drain everything due at the current cycle,
+//! and — for the fast-forward engine — report the earliest pending event. A
+//! binary heap does all three but pays `O(log n)` per event and per-cycle
+//! peek churn; a calendar queue makes the common case a constant-time bucket
+//! append/drain and keeps the exact minimum on hand.
 //!
-//! Layout: a ring of [`SLOTS`] buckets indexed by `cycle % SLOTS`. An event
+//! The wheel is generic over its payload: [`crate::sm::Sm`] schedules
+//! [`crate::sm::Writeback`] completions on it, and the event-driven memory
+//! model ([`crate::mem::EventMem`]) schedules MSHR-entry and DRAM-queue-slot
+//! releases. Events scheduled for the same cycle land in the same bucket and
+//! drain together in insertion order — which is what lets a warp's N
+//! per-transaction completions coalesce into one wake-up without any extra
+//! merging structure.
+//!
+//! Layout: a ring of `SLOTS` buckets indexed by `cycle % SLOTS`. An event
 //! scheduled more than `SLOTS` cycles ahead (possible only under extreme
 //! bandwidth-queue backlog) goes to a small unsorted overflow list that is
 //! consulted by its cached minimum. Invariant: every bucketed event's cycle
 //! lies in `(drained_to, drained_to + SLOTS]`, so a bucket never mixes events
 //! of different due cycles and drains whole.
-
-/// Writeback event: completes at `.0`, targets warp slot `.1`, clears
-/// register `.2` ([`crate::warp::NO_REG`] for stores), and frees an MSHR
-/// slot when `.3`.
-pub type Writeback = (u64, u32, u16, bool);
 
 /// Ring size in cycles. Covers the full L1+L2+DRAM latency path plus typical
 /// queueing delay; deeper backlogs spill to the overflow list.
@@ -25,13 +28,13 @@ const SLOTS: usize = 1024;
 const MASK: u64 = SLOTS as u64 - 1;
 const WORDS: usize = SLOTS / 64;
 
-/// Calendar queue over [`Writeback`] events.
+/// Calendar queue over `(due cycle, payload)` events.
 #[derive(Debug, Clone)]
-pub struct TimingWheel {
-    slots: Vec<Vec<Writeback>>,
+pub struct TimingWheel<T> {
+    slots: Vec<Vec<(u64, T)>>,
     /// One bit per non-empty bucket, for fast earliest-event scans.
     occupancy: [u64; WORDS],
-    overflow: Vec<Writeback>,
+    overflow: Vec<(u64, T)>,
     overflow_min: u64,
     /// Exact earliest pending cycle (`u64::MAX` when empty).
     earliest: u64,
@@ -40,13 +43,13 @@ pub struct TimingWheel {
     len: usize,
 }
 
-impl Default for TimingWheel {
+impl<T: Copy> Default for TimingWheel<T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl TimingWheel {
+impl<T: Copy> TimingWheel<T> {
     /// Empty wheel starting at cycle 0.
     pub fn new() -> Self {
         TimingWheel {
@@ -70,7 +73,8 @@ impl TimingWheel {
         self.len == 0
     }
 
-    /// Earliest pending completion cycle — the SM's next wake-up time.
+    /// Earliest pending event cycle — the "when can anything next happen"
+    /// answer the fast-forward engine consumes.
     #[inline]
     pub fn next_due(&self) -> Option<u64> {
         if self.len == 0 {
@@ -80,19 +84,19 @@ impl TimingWheel {
         }
     }
 
-    /// Schedule `wb`. An event at an already-drained cycle is deferred to the
-    /// next drain (matching a heap that would pop it on the following peek).
-    pub fn push(&mut self, mut wb: Writeback) {
-        let due = wb.0.max(self.drained_to + 1);
-        wb.0 = due;
+    /// Schedule `payload` at cycle `at`. An event at an already-drained cycle
+    /// is deferred to the next drain (matching a heap that would pop it on
+    /// the following peek).
+    pub fn push(&mut self, at: u64, payload: T) {
+        let due = at.max(self.drained_to + 1);
         self.len += 1;
         self.earliest = self.earliest.min(due);
         if due > self.drained_to + SLOTS as u64 {
             self.overflow_min = self.overflow_min.min(due);
-            self.overflow.push(wb);
+            self.overflow.push((due, payload));
         } else {
             let idx = (due & MASK) as usize;
-            self.slots[idx].push(wb);
+            self.slots[idx].push((due, payload));
             self.occupancy[idx / 64] |= 1 << (idx % 64);
         }
     }
@@ -100,8 +104,9 @@ impl TimingWheel {
     /// Move every event due at or before `now` into `out` (cleared first)
     /// and advance the wheel to `now`. Within one call, events of the same
     /// cycle come out in insertion order; callers must not depend on any
-    /// ordering beyond that (writeback effects commute).
-    pub fn drain_due_into(&mut self, now: u64, out: &mut Vec<Writeback>) {
+    /// ordering beyond that (the simulator's event effects commute within a
+    /// cycle).
+    pub fn drain_due_into(&mut self, now: u64, out: &mut Vec<(u64, T)>) {
         out.clear();
         if now <= self.drained_to {
             return;
@@ -119,7 +124,7 @@ impl TimingWheel {
             for cycle in self.drained_to + 1..=now {
                 let idx = (cycle & MASK) as usize;
                 if !self.slots[idx].is_empty() {
-                    debug_assert!(self.slots[idx].iter().all(|wb| wb.0 == cycle));
+                    debug_assert!(self.slots[idx].iter().all(|ev| ev.0 == cycle));
                     out.append(&mut self.slots[idx]);
                     self.occupancy[idx / 64] &= !(1 << (idx % 64));
                 }
@@ -136,7 +141,7 @@ impl TimingWheel {
                     word &= word - 1;
                     let idx = word_idx * 64 + bit as usize;
                     let cycle = self.slots[idx][0].0;
-                    debug_assert!(self.slots[idx].iter().all(|wb| wb.0 == cycle));
+                    debug_assert!(self.slots[idx].iter().all(|ev| ev.0 == cycle));
                     if cycle <= now {
                         out.append(&mut self.slots[idx]);
                         self.occupancy[word_idx] &= !(1u64 << bit);
@@ -156,7 +161,7 @@ impl TimingWheel {
             self.overflow_min = self
                 .overflow
                 .iter()
-                .map(|wb| wb.0)
+                .map(|ev| ev.0)
                 .min()
                 .unwrap_or(u64::MAX);
         }
@@ -206,11 +211,7 @@ impl TimingWheel {
 mod tests {
     use super::*;
 
-    fn wb(cycle: u64, slot: u32) -> Writeback {
-        (cycle, slot, 0, false)
-    }
-
-    fn drain(w: &mut TimingWheel, now: u64) -> Vec<Writeback> {
+    fn drain(w: &mut TimingWheel<u32>, now: u64) -> Vec<(u64, u32)> {
         let mut out = Vec::new();
         w.drain_due_into(now, &mut out);
         out
@@ -219,14 +220,14 @@ mod tests {
     #[test]
     fn events_come_out_at_their_cycle() {
         let mut w = TimingWheel::new();
-        w.push(wb(5, 1));
-        w.push(wb(3, 2));
-        w.push(wb(5, 3));
+        w.push(5, 1u32);
+        w.push(3, 2);
+        w.push(5, 3);
         assert_eq!(w.next_due(), Some(3));
         assert!(drain(&mut w, 2).is_empty());
-        assert_eq!(drain(&mut w, 3), vec![wb(3, 2)]);
+        assert_eq!(drain(&mut w, 3), vec![(3, 2)]);
         assert_eq!(w.next_due(), Some(5));
-        assert_eq!(drain(&mut w, 5), vec![wb(5, 1), wb(5, 3)]);
+        assert_eq!(drain(&mut w, 5), vec![(5, 1), (5, 3)]);
         assert!(w.is_empty());
         assert_eq!(w.next_due(), None);
     }
@@ -234,34 +235,34 @@ mod tests {
     #[test]
     fn jump_drains_collect_everything_due() {
         let mut w = TimingWheel::new();
-        for c in [10, 700, 1500, 4000] {
-            w.push(wb(c, c as u32));
+        for c in [10u64, 700, 1500, 4000] {
+            w.push(c, c as u32);
         }
         assert_eq!(w.len(), 4);
         let mut got = drain(&mut w, 2000);
         got.sort_unstable();
-        assert_eq!(got, vec![wb(10, 10), wb(700, 700), wb(1500, 1500)]);
+        assert_eq!(got, vec![(10, 10), (700, 700), (1500, 1500)]);
         assert_eq!(w.next_due(), Some(4000));
-        assert_eq!(drain(&mut w, 1 << 40), vec![wb(4000, 4000)]);
+        assert_eq!(drain(&mut w, 1 << 40), vec![(4000, 4000)]);
     }
 
     #[test]
     fn overflow_events_surface_via_next_due() {
         let mut w = TimingWheel::new();
-        w.push(wb(100_000, 7)); // far beyond the ring
+        w.push(100_000, 7u32); // far beyond the ring
         assert_eq!(w.next_due(), Some(100_000));
         assert!(drain(&mut w, 99_999).is_empty());
-        assert_eq!(drain(&mut w, 100_000), vec![wb(100_000, 7)]);
+        assert_eq!(drain(&mut w, 100_000), vec![(100_000, 7)]);
     }
 
     #[test]
     fn overflow_and_ring_share_the_minimum() {
         let mut w = TimingWheel::new();
-        w.push(wb(5000, 1));
+        w.push(5000, 1u32);
         assert!(drain(&mut w, 4000).is_empty()); // event now within ring reach
-        w.push(wb(4500, 2));
+        w.push(4500, 2);
         assert_eq!(w.next_due(), Some(4500));
-        assert_eq!(drain(&mut w, 4600), vec![wb(4500, 2)]);
+        assert_eq!(drain(&mut w, 4600), vec![(4500, 2)]);
         assert_eq!(w.next_due(), Some(5000));
     }
 
@@ -269,24 +270,34 @@ mod tests {
     fn stale_events_are_deferred_not_lost() {
         let mut w = TimingWheel::new();
         assert!(drain(&mut w, 50).is_empty());
-        w.push(wb(10, 1)); // already past: becomes due at cycle 51
+        w.push(10, 1u32); // already past: becomes due at cycle 51
         assert_eq!(w.next_due(), Some(51));
-        assert_eq!(drain(&mut w, 51), vec![(51, 1, 0, false)]);
+        assert_eq!(drain(&mut w, 51), vec![(51, 1)]);
     }
 
     #[test]
     fn ring_aliasing_keeps_cycles_apart() {
         let mut w = TimingWheel::new();
-        w.push(wb(3, 1));
-        assert_eq!(drain(&mut w, 3), vec![wb(3, 1)]);
+        w.push(3, 1u32);
+        assert_eq!(drain(&mut w, 3), vec![(3, 1)]);
         // Same bucket as cycle 3 (3 + 1024), pushed after time has advanced.
-        w.push(wb(3 + SLOTS as u64, 2));
+        w.push(3 + SLOTS as u64, 2);
         assert!(drain(&mut w, 100).is_empty());
         assert_eq!(w.next_due(), Some(3 + SLOTS as u64));
-        assert_eq!(
-            drain(&mut w, 3 + SLOTS as u64),
-            vec![wb(3 + SLOTS as u64, 2)]
-        );
+        assert_eq!(drain(&mut w, 3 + SLOTS as u64), vec![(3 + SLOTS as u64, 2)]);
+    }
+
+    #[test]
+    fn same_cycle_events_share_a_bucket_and_drain_together() {
+        // The wake-up-coalescing property the memory model relies on: N
+        // events for one cycle come out of a single drain, in push order.
+        let mut w = TimingWheel::new();
+        for i in 0..8u32 {
+            w.push(40, i);
+        }
+        let got = drain(&mut w, 40);
+        assert_eq!(got.len(), 8);
+        assert!(got.iter().enumerate().all(|(i, ev)| ev.1 == i as u32));
     }
 
     #[test]
@@ -294,7 +305,7 @@ mod tests {
         // Deterministic pseudo-random workload compared against a Vec-based
         // reference model.
         let mut w = TimingWheel::new();
-        let mut model: Vec<Writeback> = Vec::new();
+        let mut model: Vec<(u64, u32)> = Vec::new();
         let mut state = 0x1234_5678_u64;
         let mut rng = move || {
             state ^= state << 13;
@@ -313,13 +324,14 @@ mod tests {
                 3 => 1 + r % 1500,
                 _ => 1 + r % 40,
             };
-            let ev = (now + delay, step as u32, 0, false);
-            w.push(ev);
+            let ev = (now + delay, step as u32);
+            w.push(ev.0, ev.1);
             model.push(ev);
             now += 1 + r % 7; // occasional multi-cycle hops
             let mut got = drain(&mut w, now);
             got.sort_unstable();
-            let mut expect: Vec<Writeback> = model.iter().copied().filter(|e| e.0 <= now).collect();
+            let mut expect: Vec<(u64, u32)> =
+                model.iter().copied().filter(|e| e.0 <= now).collect();
             expect.sort_unstable();
             model.retain(|e| e.0 > now);
             assert_eq!(got, expect, "step {step} now {now}");
