@@ -15,8 +15,9 @@
 //!   fig12    Fig. 12 Set-3 policy equivalences
 //!   table5   Table V/VI  IPC and blocks vs %register sharing
 //!   table7   Table VII/VIII IPC and blocks vs %scratchpad sharing
-//!   perf     simulator-engine throughput (fast-forward vs reference);
-//!            writes BENCH_pr2.json (not a paper artifact)
+//!   perf     simulator-engine throughput (fast-forward vs reference, and
+//!            the sharded epoch engine at several shard counts); writes
+//!            BENCH_pr2.json and BENCH_pr6.json (not paper artifacts)
 //!   all      every paper artifact above (perf runs only when asked)
 //! ```
 //!
@@ -48,6 +49,7 @@ fn main() {
         "perf" => {
             let reps = if quick { 3 } else { 20 };
             perf::write_report(reps).expect("writing BENCH_pr2.json failed");
+            perf::write_shard_report(reps).expect("writing BENCH_pr6.json failed");
         }
         other => {
             if let Some(bench) = other.strip_prefix("inspect=") {

@@ -14,6 +14,13 @@
 //! [`measure`] times both engine modes over several repetitions and
 //! [`write_report`] emits `BENCH_pr2.json` (used by `repro perf`); the
 //! criterion bench `perf_engine` wraps the same scenario.
+//!
+//! [`write_shard_report`] emits the companion `BENCH_pr6.json`: the same
+//! scenarios under the sharded epoch engine (`RunConfig::shards`) at
+//! several shard counts, timed against the per-cycle reference loop, with
+//! the statistics of every timed run asserted bit-identical to the
+//! sequential result (a benchmark that drifted would be measuring a
+//! different simulation).
 
 use std::time::Instant;
 
@@ -164,6 +171,172 @@ pub fn write_report(reps: u32) -> std::io::Result<()> {
     Ok(())
 }
 
+/// One timed sharded-engine comparison. `speedup` follows the
+/// `BENCH_pr2.json` convention: wall-clock of the per-cycle reference loop
+/// over the engine under test.
+#[derive(Debug, Clone)]
+pub struct ShardMeasurement {
+    /// Scenario label.
+    pub name: String,
+    /// Shard count the epoch engine ran with.
+    pub shards: usize,
+    /// Simulated cycles per run (identical across engines by construction).
+    pub cycles: u64,
+    /// Best-of-reps wall seconds, sharded epoch engine.
+    pub sharded_s: f64,
+    /// Best-of-reps wall seconds, single-thread fast-forward engine — the
+    /// honest in-family comparison (sharding implies fast-forward stepping,
+    /// so any win over this number is genuine overlap, not dead-cycle
+    /// skipping).
+    pub fast_s: f64,
+    /// Best-of-reps wall seconds, per-cycle reference loop.
+    pub reference_s: f64,
+}
+
+impl ShardMeasurement {
+    /// Wall-clock speedup of the sharded engine over the reference loop.
+    pub fn speedup(&self) -> f64 {
+        self.reference_s / self.sharded_s
+    }
+
+    /// Wall-clock speedup of the sharded engine over single-thread
+    /// fast-forward (>1 only when free-run phases genuinely overlap).
+    pub fn speedup_vs_fast(&self) -> f64 {
+        self.fast_s / self.sharded_s
+    }
+}
+
+/// Time `kernel` under `cfg` on the sharded epoch engine at `shards`
+/// shards, against the per-cycle reference loop and the single-thread
+/// fast-forward engine. Panics if any engine's `SimStats` diverge — the
+/// bit-identity contract, re-checked on every benchmark run.
+pub fn measure_sharded(
+    name: &str,
+    kernel: &Kernel,
+    cfg: &RunConfig,
+    shards: usize,
+    reps: u32,
+) -> ShardMeasurement {
+    let mut walls = [f64::MAX; 3];
+    let mut stats = Vec::new();
+    let modes = [
+        cfg.clone().with_shards(Some(shards)),
+        cfg.clone().with_fast_forward(true),
+        cfg.clone().with_fast_forward(false),
+    ];
+    for (i, mode) in modes.into_iter().enumerate() {
+        let sim = Simulator::new(mode);
+        for _ in 0..reps.max(1) {
+            let t = Instant::now();
+            let s = sim.run(kernel);
+            walls[i] = walls[i].min(t.elapsed().as_secs_f64());
+            stats.push(s);
+        }
+    }
+    assert!(
+        stats.windows(2).all(|w| w[0] == w[1]),
+        "sharded/fast-forward/reference statistics diverged"
+    );
+    ShardMeasurement {
+        name: name.to_string(),
+        shards,
+        cycles: stats[0].cycles,
+        sharded_s: walls[0],
+        fast_s: walls[1],
+        reference_s: walls[2],
+    }
+}
+
+/// Shard counts for the suite: 2 and 4 (the equivalence-pinned points),
+/// plus the machine's available hardware threads when that differs.
+pub fn shard_counts() -> Vec<usize> {
+    let mut counts = vec![2usize, 4];
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if !counts.contains(&cores) {
+        counts.push(cores);
+    }
+    counts
+}
+
+/// Run the sharded-engine suite: the primary dead-wait scenario and its
+/// event-memory-model variant (the acceptance scenario), each at every
+/// [`shard_counts`] point.
+pub fn run_shard_suite(reps: u32) -> Vec<ShardMeasurement> {
+    let kernel = scenario_kernel();
+    let primary = scenario_config();
+    let event = scenario_config_event();
+    let mut ms = Vec::new();
+    for shards in shard_counts() {
+        ms.push(measure_sharded(
+            "conv1-28/dram1600",
+            &kernel,
+            &primary,
+            shards,
+            reps,
+        ));
+        ms.push(measure_sharded(
+            "conv1-28/dram1600/event",
+            &kernel,
+            &event,
+            shards,
+            reps,
+        ));
+    }
+    ms
+}
+
+/// Serialize sharded measurements as the `BENCH_pr6.json` document
+/// (hand-rolled JSON; the offline serde shim has no serializer). `speedup`
+/// is vs the per-cycle reference loop, like `BENCH_pr2.json`.
+pub fn render_shard_report(ms: &[ShardMeasurement]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut s = format!(
+        "{{\n  \"bench\": \"perf_shards\",\n  \"primary\": \"conv1-28/dram1600/event\",\n  \"available_parallelism\": {cores},\n  \"scenarios\": [\n"
+    );
+    for (i, m) in ms.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shards\": {}, \"cycles\": {}, \"sharded_s\": {:.6}, \"fast_forward_s\": {:.6}, \"reference_s\": {:.6}, \"speedup\": {:.2}, \"speedup_vs_fast_forward\": {:.2}}}{}\n",
+            m.name,
+            m.shards,
+            m.cycles,
+            m.sharded_s,
+            m.fast_s,
+            m.reference_s,
+            m.speedup(),
+            m.speedup_vs_fast(),
+            if i + 1 == ms.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Execute the sharded suite, print a table, and write `BENCH_pr6.json`
+/// into the current directory.
+pub fn write_shard_report(reps: u32) -> std::io::Result<()> {
+    let ms = run_shard_suite(reps);
+    println!(
+        "{:<24} {:>6} {:>9} {:>10} {:>10} {:>10} {:>8} {:>8}",
+        "scenario", "shards", "cycles", "shard wall", "ff wall", "ref wall", "vs ref", "vs ff"
+    );
+    for m in &ms {
+        println!(
+            "{:<24} {:>6} {:>9} {:>9.4}s {:>9.4}s {:>9.4}s {:>7.2}x {:>7.2}x",
+            m.name,
+            m.shards,
+            m.cycles,
+            m.sharded_s,
+            m.fast_s,
+            m.reference_s,
+            m.speedup(),
+            m.speedup_vs_fast()
+        );
+    }
+    std::fs::write("BENCH_pr6.json", render_shard_report(&ms))?;
+    println!("wrote BENCH_pr6.json");
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +355,32 @@ mod tests {
             stats.idle_cycles
         );
         assert_eq!(stats.stall_cycles, 0);
+    }
+
+    #[test]
+    fn shard_measurement_math_and_json_shape() {
+        let m = ShardMeasurement {
+            name: "x".into(),
+            shards: 4,
+            cycles: 1000,
+            sharded_s: 0.25,
+            fast_s: 0.5,
+            reference_s: 2.0,
+        };
+        assert_eq!(m.speedup(), 8.0);
+        assert_eq!(m.speedup_vs_fast(), 2.0);
+        let json = render_shard_report(std::slice::from_ref(&m));
+        assert!(json.contains("\"bench\": \"perf_shards\""));
+        assert!(json.contains("\"shards\": 4"));
+        assert!(json.contains("\"speedup\": 8.00"));
+        assert!(json.contains("\"speedup_vs_fast_forward\": 2.00"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn shard_counts_cover_the_pinned_points() {
+        let counts = shard_counts();
+        assert!(counts.contains(&2) && counts.contains(&4));
     }
 
     #[test]

@@ -61,7 +61,7 @@ pub struct Gpu {
     pub throttle: DynThrottle,
     /// Grid dispatcher.
     pub dispatcher: Dispatcher,
-    cfg: GpuConfig,
+    pub(crate) cfg: GpuConfig,
     fast_forward: bool,
 }
 
@@ -243,27 +243,12 @@ impl Gpu {
         self.collect(cycle, !self.finished())
     }
 
-    fn collect(&self, cycles: u64, timed_out: bool) -> SimStats {
-        let mut stats = SimStats {
+    pub(crate) fn collect(&self, cycles: u64, timed_out: bool) -> SimStats {
+        SimStats::aggregate(
             cycles,
             timed_out,
-            mem: self.shared.stats.clone(),
-            ..Default::default()
-        };
-        for sm in &self.sms {
-            stats.warp_instrs += sm.stats.warp_instrs;
-            stats.thread_instrs += sm.stats.thread_instrs;
-            stats.stall_cycles += sm.stats.stall_cycles;
-            stats.idle_cycles += sm.stats.idle_cycles;
-            stats.empty_cycles += sm.stats.empty_cycles;
-            stats.blocks_completed += sm.stats.blocks_completed;
-            stats.lock_retries += sm.stats.lock_retries;
-            stats.throttled_issues += sm.stats.throttled_issues;
-            stats.mshr_full_stalls += sm.stats.mshr_full_stalls;
-            stats.dram_queue_full_stalls += sm.stats.dram_queue_full_stalls;
-            stats.max_resident_blocks = stats.max_resident_blocks.max(sm.stats.max_resident_blocks);
-            stats.per_sm.push(sm.stats.clone());
-        }
-        stats
+            self.shared.stats.clone(),
+            self.sms.iter().map(|sm| &sm.stats),
+        )
     }
 }

@@ -15,7 +15,11 @@
 //! and when no SM can make progress the run loop fast-forwards the clock to
 //! the next writeback while crediting the skipped span to the same idle /
 //! empty counters the per-cycle loop would have produced — statistics are
-//! bit-identical with [`RunConfig::fast_forward`] on or off.
+//! bit-identical with [`RunConfig::fast_forward`] on or off. On top of
+//! that, [`RunConfig::shards`] runs the SM array on worker threads with an
+//! epoch-batched commit protocol ([`shard`]) that keeps every shared-state
+//! interaction in the sequential engine's canonical order — statistics stay
+//! bit-identical for any shard count.
 //!
 //! Global-memory timing comes in two selectable models
 //! ([`RunConfig::memory_model`]): the default **functional** model computes
@@ -59,6 +63,7 @@ pub mod mem;
 pub mod rng;
 pub mod run;
 pub mod server;
+pub mod shard;
 pub mod sm;
 pub mod stats;
 pub mod warp;

@@ -338,19 +338,35 @@ pub struct EventMem {
 }
 
 impl EventMem {
+    /// Hard ceiling on `MemConfig::mem_partitions`. Configurations above it
+    /// are clamped (behaving bit-identically to a machine configured at the
+    /// ceiling). The bound keeps the per-bank service-interval scaling
+    /// `service_q4 × partitions` provably inside `u32` for every interval
+    /// the quarter-cycle [`ServerQueue`] can represent meaningfully, so the
+    /// scaling below never silently saturates capacity — the overflow
+    /// behaviour the `partition_extremes` tests pin.
+    pub const MAX_PARTITIONS: u32 = 4096;
+
     /// Build the partitioned model from `cfg` (see the `MemConfig` fields
     /// `mem_partitions`, `mshr_entries`, `dram_queue_entries`).
+    /// `mem_partitions` is clamped to `1..=MAX_PARTITIONS`.
     pub fn new(cfg: &MemConfig) -> Self {
-        let parts_n = cfg.mem_partitions.max(1);
+        let parts_n = cfg.mem_partitions.clamp(1, Self::MAX_PARTITIONS);
         let slice_bytes = (u64::from(cfg.l2_bytes) / u64::from(parts_n))
             .max(u64::from(cfg.line_bytes) * u64::from(cfg.l2_ways.max(1)));
+        // Per-bank service is `partitions`× slower than the functional
+        // aggregate so total bandwidth matches. Saturation policy (decided,
+        // not accidental): a product that would exceed u32::MAX pins to
+        // u32::MAX quarter-cycles — per-bank bandwidth bottoms out rather
+        // than wrapping to a fast interval. Unreachable for any service
+        // interval below u32::MAX / MAX_PARTITIONS ≈ 1M quarter-cycles.
+        let l2_q4 = cfg.l2_service_q4.saturating_mul(parts_n);
+        let dram_q4 = cfg.dram_service_q4.saturating_mul(parts_n);
         let parts = (0..parts_n)
             .map(|_| Partition {
                 l2: Cache::new(slice_bytes, cfg.l2_ways, u64::from(cfg.line_bytes)),
-                // Per-bank service is `partitions`× slower than the
-                // functional aggregate so total bandwidth matches.
-                l2_server: ServerQueue::new(cfg.l2_service_q4.saturating_mul(parts_n)),
-                dram_server: ServerQueue::new(cfg.dram_service_q4.saturating_mul(parts_n)),
+                l2_server: ServerQueue::new(l2_q4),
+                dram_server: ServerQueue::new(dram_q4),
                 mshr: Vec::new(),
                 dram_in_queue: 0,
             })
@@ -484,7 +500,7 @@ impl EventMem {
                         p.dram_in_queue += 1;
                         self.total_dram += 1;
                         stats.peak_dram_queue_occupancy =
-                            stats.peak_dram_queue_occupancy.max(p.dram_in_queue);
+                            stats.peak_dram_queue_occupancy.max(self.total_dram);
                         self.releases
                             .push(service_end, Release::DramSlot { part: part as u16 });
                     }
@@ -521,7 +537,13 @@ impl EventMem {
                 if self.mshr_limit > 0 {
                     p.mshr.push(MshrEntry { line, fill_at });
                     self.total_mshr += 1;
-                    stats.peak_mshr_occupancy = stats.peak_mshr_occupancy.max(p.mshr.len() as u32);
+                    // Sample the cross-partition total at admission: totals
+                    // only grow here (releases only shrink them), so this one
+                    // sampling point sees every peak. Maxing one partition's
+                    // table length — the old behaviour — understated the
+                    // machine-wide peak whenever misses spread across
+                    // partitions.
+                    stats.peak_mshr_occupancy = stats.peak_mshr_occupancy.max(self.total_mshr);
                     self.releases.push(
                         fill_at,
                         Release::Mshr {
@@ -534,7 +556,7 @@ impl EventMem {
                     p.dram_in_queue += 1;
                     self.total_dram += 1;
                     stats.peak_dram_queue_occupancy =
-                        stats.peak_dram_queue_occupancy.max(p.dram_in_queue);
+                        stats.peak_dram_queue_occupancy.max(self.total_dram);
                     self.releases
                         .push(service_end, Release::DramSlot { part: part as u16 });
                 }
@@ -561,8 +583,13 @@ pub fn generate_addresses(
     match pattern {
         GlobalPattern::Stream => {
             let lines_per_warp = layout::STREAM_PER_WARP / LINE_BYTES;
-            let line = u64::from(warp.stream_pos) % lines_per_warp;
-            warp.stream_pos = warp.stream_pos.wrapping_add(1);
+            let line = warp.stream_pos % lines_per_warp;
+            // Saturating, never wrapping: a wrapped counter would restart the
+            // modulo sequence mid-stream and alias fresh accesses onto old
+            // lines, silently inflating hit rates on very long runs. (At
+            // saturation — 2^64 issues, unreachable in practice — the stream
+            // pins to its last line, which is at least visible in stats.)
+            warp.stream_pos = warp.stream_pos.saturating_add(1);
             out.push(
                 block_base
                     + layout::STREAM_BASE
@@ -572,14 +599,14 @@ pub fn generate_addresses(
         }
         GlobalPattern::BlockTile { tile_lines } => {
             let tl = u64::from(tile_lines.max(1));
-            let line = (u64::from(warp.warp_in_block) * 7 + u64::from(warp.tile_pos)) % tl;
-            warp.tile_pos = warp.tile_pos.wrapping_add(1);
+            let line = (u64::from(warp.warp_in_block) * 7 + warp.tile_pos) % tl;
+            warp.tile_pos = warp.tile_pos.saturating_add(1);
             out.push(block_base + layout::TILE_BASE + line * LINE_BYTES);
         }
         GlobalPattern::KernelTile { tile_lines } => {
             let tl = u64::from(tile_lines.max(1));
-            let line = (u64::from(warp.warp_in_block) * 3 + u64::from(warp.tile_pos)) % tl;
-            warp.tile_pos = warp.tile_pos.wrapping_add(1);
+            let line = (u64::from(warp.warp_in_block) * 3 + warp.tile_pos) % tl;
+            warp.tile_pos = warp.tile_pos.saturating_add(1);
             out.push(layout::KERNEL_TILE_BASE + line * LINE_BYTES);
         }
         GlobalPattern::Scatter { span_lines, txns } => {
@@ -701,6 +728,154 @@ mod tests {
             &mut a,
         );
         assert_eq!(a[0], a[1]); // same position → same address despite block
+    }
+
+    fn event_mem(parts: u32, mshr: u32, dramq: u32) -> (SharedMem, Cache) {
+        let cfg = MemConfig {
+            mem_partitions: parts,
+            mshr_entries: mshr,
+            dram_queue_entries: dramq,
+            ..MemConfig::default()
+        };
+        let l1 = Cache::new(
+            u64::from(cfg.l1_bytes),
+            cfg.l1_ways,
+            u64::from(cfg.line_bytes),
+        );
+        (SharedMem::with_model(cfg, MemoryModel::Event), l1)
+    }
+
+    #[test]
+    fn peak_mshr_occupancy_sums_across_partitions() {
+        // Two same-cycle misses routed to different partitions (lines 0 and
+        // 1 under 2-way interleaving): the machine-wide peak is 2 entries,
+        // not the per-partition maximum of 1 the old sampling reported.
+        let (mut sm, mut l1) = event_mem(2, 8, 0);
+        sm.event_access(&mut l1, 0, 0, true);
+        sm.event_access(&mut l1, 128, 0, true);
+        assert_eq!(sm.stats.peak_mshr_occupancy, 2);
+        // Same shape for the DRAM queue peak.
+        let (mut sm, mut l1) = event_mem(2, 0, 8);
+        sm.event_access(&mut l1, 0, 0, true);
+        sm.event_access(&mut l1, 128, 0, true);
+        assert_eq!(sm.stats.peak_dram_queue_occupancy, 2);
+    }
+
+    #[test]
+    fn peak_mshr_occupancy_sees_peaks_between_releases() {
+        // Admissions at different cycles with no release processed in
+        // between must still raise the recorded peak monotonically: the
+        // sample happens at every admission, not at release processing.
+        let (mut sm, mut l1) = event_mem(1, 16, 0);
+        for i in 0..4u64 {
+            sm.advance_to(i);
+            sm.event_access(&mut l1, i * 128, i, true);
+            assert_eq!(sm.stats.peak_mshr_occupancy, (i + 1) as u32);
+        }
+    }
+
+    #[test]
+    fn capacity_release_is_visible_exactly_at_its_cycle() {
+        // The tie-break the sharded commit phase (and the gated-sleep wake
+        // path) relies on: a release due at cycle `r` is applied by
+        // `advance_to(r)` — i.e. an SM woken at `r` that settles the memory
+        // system before scanning observes the freed capacity that very
+        // cycle, never one later. Same-cycle SM writebacks drain before
+        // `advance_to` runs (see `Sm::step`), so the order within the wake
+        // cycle is: writebacks, then releases, then the gate read.
+        let (mut sm, mut l1) = event_mem(1, 1, 0);
+        sm.event_access(&mut l1, 0, 0, true);
+        let r = sm.next_release().expect("miss holds an MSHR entry");
+        assert_eq!(sm.issue_gate().mshr_free, 0);
+        sm.advance_to(r - 1);
+        assert_eq!(sm.issue_gate().mshr_free, 0, "release must not fire early");
+        assert_eq!(sm.next_release(), Some(r));
+        sm.advance_to(r);
+        assert_eq!(sm.issue_gate(), MemGate::OPEN, "table empty again at r");
+        assert_eq!(sm.next_release(), None);
+    }
+
+    #[test]
+    fn partition_count_above_the_cap_clamps_bit_identically() {
+        let over = MemConfig {
+            mem_partitions: u32::MAX,
+            ..MemConfig::default()
+        };
+        let at_cap = MemConfig {
+            mem_partitions: EventMem::MAX_PARTITIONS,
+            ..MemConfig::default()
+        };
+        let mut a = SharedMem::with_model(over, MemoryModel::Event);
+        let mut b = SharedMem::with_model(at_cap, MemoryModel::Event);
+        let mk_l1 = |cfg: &MemConfig| {
+            Cache::new(
+                u64::from(cfg.l1_bytes),
+                cfg.l1_ways,
+                u64::from(cfg.line_bytes),
+            )
+        };
+        let (mut l1a, mut l1b) = (mk_l1(&over), mk_l1(&at_cap));
+        for i in 0..64u64 {
+            let addr = i * 128 * 4097; // spread across many partitions
+            assert_eq!(
+                a.event_access(&mut l1a, addr, 0, true),
+                b.event_access(&mut l1b, addr, 0, true),
+            );
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn service_interval_scaling_saturates_instead_of_wrapping() {
+        // A pathological per-transaction interval times the partition count
+        // overflows u32: the scaled interval must pin to u32::MAX (slowest
+        // representable bank), not wrap around to a tiny (fast) one.
+        let cfg = MemConfig {
+            mem_partitions: 2,
+            l2_service_q4: u32::MAX,
+            dram_service_q4: u32::MAX,
+            ..MemConfig::default()
+        };
+        let mut sm = SharedMem::with_model(cfg, MemoryModel::Event);
+        let mut l1 = Cache::new(
+            u64::from(cfg.l1_bytes),
+            cfg.l1_ways,
+            u64::from(cfg.line_bytes),
+        );
+        let first = sm.event_access(&mut l1, 0, 0, true);
+        let second = sm.event_access(&mut l1, 2 * 128, 0, true); // same partition
+                                                                 // Back-to-back transactions on one bank must queue behind the
+                                                                 // (saturated, enormous) service interval — a wrapped interval would
+                                                                 // make them nearly free.
+        assert!(second - first >= u64::from(u32::MAX) / 8);
+    }
+
+    #[test]
+    fn stream_position_does_not_wrap_at_the_u32_boundary() {
+        // Regression for the old `u32` + `wrapping_add` counters: a stream
+        // position crossing 2^32 must keep its modulo phase instead of
+        // snapping back to line 0 and re-aliasing the stream.
+        let mut w = Warp::new(0, 0, 0, 32, 0, 0);
+        let lines_per_warp = layout::STREAM_PER_WARP / LINE_BYTES;
+        w.stream_pos = u64::from(u32::MAX);
+        let mut a = Vec::new();
+        generate_addresses(GlobalPattern::Stream, &mut w, 0, &mut a);
+        generate_addresses(GlobalPattern::Stream, &mut w, 0, &mut a);
+        assert_eq!(w.stream_pos, u64::from(u32::MAX) + 2, "no wrap to 0");
+        let line0 = (u64::from(u32::MAX)) % lines_per_warp;
+        let line1 = (u64::from(u32::MAX) + 1) % lines_per_warp;
+        assert_eq!(a[0], layout::block_base(0) + line0 * LINE_BYTES);
+        assert_eq!(a[1], layout::block_base(0) + line1 * LINE_BYTES);
+        // Tile counters share the contract.
+        w.tile_pos = u64::MAX;
+        let mut b = Vec::new();
+        generate_addresses(
+            GlobalPattern::BlockTile { tile_lines: 4 },
+            &mut w,
+            0,
+            &mut b,
+        );
+        assert_eq!(w.tile_pos, u64::MAX, "saturates rather than wraps");
     }
 
     #[test]

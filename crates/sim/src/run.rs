@@ -90,6 +90,16 @@ pub struct RunConfig {
     /// per-partition L2 banks with finite MSHR tables and bounded DRAM
     /// queues whose back-pressure gates SM issue.
     pub memory_model: MemoryModel,
+    /// Shard the SM array across this many worker threads using the
+    /// epoch-batched commit protocol (see the `grs_sim::shard` module docs).
+    /// `None` (the default) runs the sequential engine. Results are
+    /// **bit-identical** for any shard count — sharding is purely a
+    /// wall-clock optimization, pinned by `tests/shard_equivalence.rs`.
+    /// A count of 0 or 1, or a single-SM machine, degrades to the epoch
+    /// engine on one thread. Sharding implies the event-driven fast-forward
+    /// stepping rules internally regardless of [`Self::fast_forward`] (the
+    /// two are bit-identical, so this is unobservable in the statistics).
+    pub shards: Option<usize>,
     /// Safety bound on simulated cycles.
     pub max_cycles: u64,
 }
@@ -109,6 +119,7 @@ impl RunConfig {
             reorder_decls: false,
             fast_forward: true,
             memory_model: MemoryModel::Functional,
+            shards: None,
             max_cycles: Self::DEFAULT_MAX_CYCLES,
         }
     }
@@ -194,6 +205,13 @@ impl RunConfig {
     /// Replace the memory model (`Functional` by default).
     pub fn with_memory_model(mut self, m: MemoryModel) -> Self {
         self.memory_model = m;
+        self
+    }
+
+    /// Shard the SM array across `n` worker threads (`None` = sequential;
+    /// see [`Self::shards`]).
+    pub fn with_shards(mut self, n: Option<usize>) -> Self {
+        self.shards = n;
         self
     }
 
@@ -301,10 +319,16 @@ impl Simulator {
             self.cfg.scheduler,
             self.cfg.dyn_throttle,
             self.cfg.sharing.resource(),
-            self.cfg.fast_forward,
+            // The sharded engine free-runs SMs between interaction points,
+            // which is exactly the fast-forward stepping discipline — force
+            // the incremental scan on (bit-identical either way).
+            self.cfg.fast_forward || self.cfg.shards.is_some(),
             self.cfg.memory_model,
         );
-        Ok(gpu.run(&kinfo, self.cfg.max_cycles))
+        Ok(match self.cfg.shards {
+            Some(n) => crate::shard::run_sharded(&mut gpu, &kinfo, self.cfg.max_cycles, n),
+            None => gpu.run(&kinfo, self.cfg.max_cycles),
+        })
     }
 
     /// Simulate `kernel`; panics on configuration errors (convenience for

@@ -1,0 +1,565 @@
+//! Deterministic cross-SM sharded execution: the epoch/commit engine.
+//!
+//! ## Why sharding is not "just step SMs on threads"
+//!
+//! SMs interact through exactly three pieces of shared state — the L2/DRAM
+//! memory system, the grid dispatcher, and the dynamic throttle's RNG
+//! streams and window probabilities — and the sequential loop visits them
+//! in a canonical order: ascending cycle, then ascending SM id within a
+//! cycle. Cache tags, MSHR admission, DRAM-queue scheduling, lock arrival
+//! order and throttle draws all depend on that order, so any engine that
+//! lets two SMs race to the L2 produces different (if individually
+//! plausible) statistics. This module keeps the canonical order for every
+//! shared-state interaction while running everything else in parallel.
+//!
+//! ## The protocol
+//!
+//! Each SM lives in a [`Lane`] owned by one shard; shards are serviced by
+//! worker threads plus the coordinator (which owns shard 0). Execution
+//! alternates two phases:
+//!
+//! - **Parallel free-run.** Every shard steps its lanes independently
+//!   against a *stub* memory system ([`MemoryModel::Functional`] with the
+//!   gate permanently open, provably never reached — see below) and its own
+//!   clone of the throttle, up to the next globally-committed boundary: a
+//!   lane *parks* the cycle [`Sm::wants_commit`] reports a warp that could
+//!   touch global memory or retire a block, and stops at the throttle's
+//!   next window deadline (a global horizon) or the cycle bound.
+//! - **Serial commit.** The coordinator repeatedly takes the lexicographic
+//!   minimum `(cycle, SM id)` over all lanes' next events. A parked lane at
+//!   the minimum is stepped once against the *real* memory system,
+//!   dispatcher and its owner-clone throttle — exactly the call the
+//!   sequential loop would make at that `(cycle, SM id)` — and resumes
+//!   free-running. When the minimum crosses a window deadline, the window
+//!   closes: per-SM stall counts are drained from the owning clones in SM
+//!   id order, folded on the master instance, and the new probabilities are
+//!   broadcast ([`DynThrottle::close_window_with`] /
+//!   [`DynThrottle::sync_after_window`]).
+//!
+//! ## Why free-running is invisible
+//!
+//! A free-run step can only execute warps whose next instruction is
+//! SM-local (ALU, barrier, L1-resident control flow): any warp that is
+//! *ready* on a global-memory instruction — no hazard, per-warp MSHR quota
+//! free — or ready to retire the last warp of a block parks the lane
+//! *before* the step ([`Sm::wants_commit`] is checked at every wake, after
+//! draining writebacks). Consequences, each load-bearing:
+//!
+//! - The stub memory system is never asked for a load or store, so its
+//!   (default-zeroed) statistics never diverge — asserted at teardown.
+//! - The throttle's per-SM RNG streams advance only inside commit steps
+//!   ([`DynThrottle::allow`] is consulted only for ready global-memory
+//!   candidates), and commits happen in canonical order, so every draw
+//!   happens at the same point in the stream as sequentially.
+//! - Memory-gated sleep spans ([`StepOutcome::gated`]) begin only at
+//!   commit steps, and a gated sleeper re-parks at its wake cycle (sleep
+//!   only *shrinks* hazards, never the gate candidacy), so
+//!   [`Sm::credit_gated`]'s closed-form crediting runs with real gate
+//!   state.
+//! - Lock busy-waits park too (`wants_commit` does not consult pair
+//!   locks), so `lock_retries` and lock hand-off order stay canonical.
+//!
+//! The remaining shared calls are call-pattern independent:
+//! [`SharedMem::advance_to`] credits occupancy integrals piecewise at
+//! event times (skipping it on free-run cycles is unobservable), and the
+//! throttle's sleep/wake crediting is driven per-SM from the owning clone
+//! with the same spans the sequential loop produces.
+//!
+//! Sharded runs force event-driven (fast-forward) stepping internally —
+//! lanes must be able to sleep past boundaries — which is itself
+//! bit-identical to per-cycle stepping (pinned by the fast-forward
+//! equivalence suite), so the combined result is bit-identical to a plain
+//! sequential run for *any* shard count. `tests/shard_equivalence.rs` pins
+//! this across the scheduler × sharing-mode × memory-model matrix.
+//!
+//! ## Performance shape
+//!
+//! Wall-clock wins come from free-run spans: stretches where SMs execute
+//! local work or sleep between memory interactions. When every lane parks
+//! every few cycles (e.g. tightly interleaved DRAM traffic), the engine
+//! degrades toward the serial commit loop plus barrier overhead; the
+//! coordinator free-runs a lone unparked lane inline (no barriers) and
+//! only pays a barrier round-trip when ≥2 lanes can make independent
+//! progress. Synchronization uses spin barriers sized for
+//! microsecond-scale phases.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use grs_core::{DynThrottle, LatencyConfig};
+
+use crate::dispatch::Dispatcher;
+use crate::gpu::Gpu;
+use crate::kinfo::KernelInfo;
+use crate::mem::{MemoryModel, SharedMem};
+use crate::sm::Sm;
+use crate::stats::SimStats;
+
+/// One SM plus the engine bookkeeping the sequential loop keeps in arrays.
+struct Lane {
+    sm: Sm,
+    /// Next cycle this SM must step (`u64::MAX`: retired, nothing can wake
+    /// it).
+    wake_at: u64,
+    /// First cycle of a pending sleep span, for stats crediting at wake.
+    sleep_from: Option<u64>,
+    /// The pending sleep span is a memory-gated stall span.
+    sleep_gated: bool,
+    /// `Some(cycle)`: stopped at a shared-state interaction, awaiting its
+    /// commit step at that cycle.
+    park: Option<u64>,
+    /// Last cycle this SM stepped; the run's cycle count is the global
+    /// maximum plus one.
+    last_step: u64,
+}
+
+impl Lane {
+    /// The lane's next event cycle for the coordinator's min-key scan.
+    fn key(&self) -> u64 {
+        self.park.unwrap_or(self.wake_at)
+    }
+}
+
+/// Per-shard state. The throttle clone carries the live sleep/stall
+/// bookkeeping for exactly this shard's SMs; the stub memory system absorbs
+/// `advance_to` calls during free-run and is never asked for an access.
+struct Shard {
+    lanes: Vec<Lane>,
+    throttle: DynThrottle,
+    stub: SharedMem,
+    /// Empty dispatcher for free-run steps, which provably never complete a
+    /// block (block completion requires an exit issue, which parks).
+    scrap: Dispatcher,
+}
+
+/// Sense-reversing spin barrier. Phases are microseconds long, so parking
+/// OS threads (std's `Barrier`) costs more than it saves.
+struct SpinBarrier {
+    n: usize,
+    count: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    fn new(n: usize) -> Self {
+        SpinBarrier {
+            n,
+            count: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    fn wait(&self) {
+        let gen = self.generation.load(Ordering::Acquire);
+        if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            self.count.store(0, Ordering::Release);
+            self.generation
+                .store(gen.wrapping_add(1), Ordering::Release);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::Acquire) == gen {
+                // Bounded spin, then yield: on an oversubscribed (or
+                // single-core) machine an unbounded spin burns the peer's
+                // whole scheduling quantum per hand-off.
+                if spins < 128 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                } else {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// Free-run one lane: step it against the shard's stub state until it
+/// parks, passes `horizon` (the throttle's next window deadline), reaches
+/// `max_cycles`, or retires. Mirrors the sequential loop body minus every
+/// shared-state interaction (each of which parks instead).
+#[allow(clippy::too_many_arguments)] // mirrors the Sm::step call site
+fn free_run_lane(
+    lane: &mut Lane,
+    throttle: &mut DynThrottle,
+    stub: &mut SharedMem,
+    scrap: &mut Dispatcher,
+    kinfo: &KernelInfo,
+    lat: &LatencyConfig,
+    max_pending: u32,
+    horizon: u64,
+    max_cycles: u64,
+) {
+    debug_assert!(lane.park.is_none());
+    loop {
+        let now = lane.wake_at;
+        if now > horizon || now >= max_cycles {
+            return;
+        }
+        if lane.sm.wants_commit(now, kinfo, max_pending) {
+            lane.park = Some(now);
+            return;
+        }
+        if let Some(since) = lane.sleep_from.take() {
+            // Gated sleepers re-park at their wake cycle (the gate candidate
+            // that put them to sleep is still a candidate), so a free-run
+            // wake is always a plain quiescent span.
+            debug_assert!(!lane.sleep_gated);
+            lane.sm.credit_skipped(now - since);
+            throttle.wake_sm(lane.sm.id, now);
+        }
+        let out = lane.sm.step(now, kinfo, lat, stub, throttle, scrap);
+        debug_assert!(!out.gated, "the stub memory system's gate is open");
+        lane.last_step = now;
+        lane.wake_at = if out.quiescent {
+            if out.live {
+                match lane.sm.next_wake() {
+                    Some(w) if w > now => w,
+                    _ => now + 1,
+                }
+            } else {
+                u64::MAX
+            }
+        } else {
+            now + 1
+        };
+        if lane.wake_at > now + 1 {
+            lane.sleep_from = Some(now + 1);
+            lane.sleep_gated = false;
+            if out.live {
+                throttle.sleep_sm(lane.sm.id, now + 1);
+            }
+        }
+    }
+}
+
+/// Commit a parked lane: one step against the real shared state, exactly
+/// the call the sequential loop makes at this `(cycle, SM id)` — including
+/// the gated wake-up calculation, which must read
+/// [`SharedMem::next_release`] immediately after this SM's own accesses.
+fn commit_lane(
+    lane: &mut Lane,
+    throttle: &mut DynThrottle,
+    shared: &mut SharedMem,
+    dispatcher: &mut Dispatcher,
+    kinfo: &KernelInfo,
+    lat: &LatencyConfig,
+) {
+    let now = lane.park.take().expect("commit_lane needs a parked lane");
+    if let Some(since) = lane.sleep_from.take() {
+        if lane.sleep_gated {
+            lane.sm.credit_gated(now - since);
+        } else {
+            lane.sm.credit_skipped(now - since);
+        }
+        throttle.wake_sm(lane.sm.id, now);
+    }
+    let out = lane.sm.step(now, kinfo, lat, shared, throttle, dispatcher);
+    lane.last_step = now;
+    lane.wake_at = if out.quiescent || out.gated {
+        if out.live {
+            let mut wake = lane.sm.next_wake();
+            if out.gated {
+                wake = match (wake, shared.next_release()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+            }
+            match wake {
+                Some(w) if w > now => w,
+                _ => now + 1,
+            }
+        } else {
+            u64::MAX
+        }
+    } else {
+        now + 1
+    };
+    if lane.wake_at > now + 1 {
+        lane.sleep_from = Some(now + 1);
+        lane.sleep_gated = out.gated;
+        if out.live {
+            throttle.sleep_sm(lane.sm.id, now + 1);
+        }
+    }
+}
+
+/// Free-run every unparked lane of one shard — the body of a parallel
+/// phase, run by workers for their shard and by the coordinator for
+/// shard 0.
+#[allow(clippy::too_many_arguments)]
+fn free_run_shard(
+    shard: &mut Shard,
+    kinfo: &KernelInfo,
+    lat: &LatencyConfig,
+    max_pending: u32,
+    horizon: u64,
+    max_cycles: u64,
+) {
+    let Shard {
+        lanes,
+        throttle,
+        stub,
+        scrap,
+    } = shard;
+    for lane in lanes.iter_mut() {
+        if lane.park.is_none() {
+            free_run_lane(
+                lane,
+                throttle,
+                stub,
+                scrap,
+                kinfo,
+                lat,
+                max_pending,
+                horizon,
+                max_cycles,
+            );
+        }
+    }
+}
+
+/// Run the grid to completion (or `max_cycles`) on `shards` worker shards.
+/// Bit-identical to [`Gpu::run`] with fast-forward on — which is itself
+/// bit-identical to the per-cycle reference loop — for any shard count.
+pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: usize) -> SimStats {
+    gpu.initial_fill(kinfo);
+    if gpu.dispatcher.remaining() == 0 && gpu.sms.iter().all(|s| s.live_blocks() == 0) {
+        // Empty grid: the sequential loop exits before its first iteration.
+        gpu.shared.finalize(0);
+        return gpu.collect(0, false);
+    }
+    let lat = gpu.cfg.lat;
+    let mem_cfg = gpu.cfg.mem;
+    let max_pending = mem_cfg.max_pending_per_warp;
+    let n = gpu.sms.len();
+    let nshards = shards.clamp(1, n.max(1));
+
+    // Distribute SMs round-robin so a shard's lanes stay spread across the
+    // id space (neighbouring SMs tend to park together).
+    let mut cells: Vec<Mutex<Shard>> = (0..nshards)
+        .map(|_| {
+            Mutex::new(Shard {
+                lanes: Vec::new(),
+                throttle: gpu.throttle.clone(),
+                stub: SharedMem::with_model(mem_cfg, MemoryModel::Functional),
+                scrap: Dispatcher::new(0),
+            })
+        })
+        .collect();
+    for (i, sm) in gpu.sms.drain(..).enumerate() {
+        cells[i % nshards].get_mut().unwrap().lanes.push(Lane {
+            sm,
+            wake_at: 0,
+            sleep_from: None,
+            sleep_gated: false,
+            park: None,
+            last_step: 0,
+        });
+    }
+    let cells = &cells; // shared borrow for the worker closures
+
+    let start = &SpinBarrier::new(nshards);
+    let done = &SpinBarrier::new(nshards);
+    let stop = &AtomicBool::new(false);
+    let horizon_cell = &AtomicU64::new(0);
+    let bound_cell = &AtomicU64::new(max_cycles);
+    let lat_ref = &lat;
+
+    // Worker threads only pay off when the OS can actually run them
+    // concurrently; on a single hardware thread the coordinator free-runs
+    // every shard itself (same shard structure, same commit order, same
+    // result — the phase split is equivalence-invariant by construction).
+    // `GRS_SHARD_THREADS=always` forces the thread path (used by the
+    // equivalence suite so single-core CI still exercises it);
+    // `GRS_SHARD_THREADS=never` pins the inline path.
+    let threaded = nshards > 1
+        && match std::env::var("GRS_SHARD_THREADS").as_deref() {
+            Ok("always") => true,
+            Ok("never") => false,
+            _ => std::thread::available_parallelism().map_or(1, |p| p.get()) > 1,
+        };
+
+    // Exclusive cycle bound. Starts at `max_cycles` and clamps to one past
+    // the grid-completing cycle once the finishing commit lands: the
+    // sequential loop's `finished()` gate still runs every SM whose wake-up
+    // falls on the completing cycle, but nothing after it.
+    let mut bound = max_cycles;
+    let mut finished_at: Option<u64> = None;
+
+    std::thread::scope(|scope| {
+        let spawned = if threaded { nshards } else { 1 };
+        for cell in cells.iter().take(spawned).skip(1) {
+            scope.spawn(move || loop {
+                start.wait();
+                if stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let horizon = horizon_cell.load(Ordering::Acquire);
+                let bound = bound_cell.load(Ordering::Acquire);
+                let mut shard = cell.lock().unwrap();
+                free_run_shard(&mut shard, kinfo, lat_ref, max_pending, horizon, bound);
+                drop(shard);
+                done.wait();
+            });
+        }
+
+        // The coordinator: serial commit phases interleaved with parallel
+        // free-run phases. `gpu.throttle` is the master instance — it takes
+        // no per-SM traffic (that lives in the clones) and only closes
+        // windows and owns the authoritative probabilities/deadline.
+        let mut deadline = gpu.throttle.next_deadline();
+        'run: loop {
+            let mut guards: Vec<MutexGuard<Shard>> =
+                cells.iter().map(|c| c.lock().unwrap()).collect();
+            loop {
+                // Minimum (cycle, SM id) over every lane's next event, and
+                // the number of unparked lanes that could free-run now.
+                let mut best: Option<(u64, usize, usize, usize, bool)> = None;
+                let mut runnable = 0usize;
+                for (si, shard) in guards.iter().enumerate() {
+                    for (li, lane) in shard.lanes.iter().enumerate() {
+                        let key = lane.key();
+                        if key == u64::MAX {
+                            continue;
+                        }
+                        let parked = lane.park.is_some();
+                        if !parked && key <= deadline && key < bound {
+                            runnable += 1;
+                        }
+                        if best.is_none_or(|(bk, bid, ..)| (key, lane.sm.id) < (bk, bid)) {
+                            best = Some((key, lane.sm.id, si, li, parked));
+                        }
+                    }
+                }
+                let Some((b, _, si, li, parked)) = best else {
+                    break 'run; // every lane retired: the grid drained
+                };
+                if b >= bound {
+                    break 'run; // timeout or grid completion: nothing left in bounds
+                }
+                if b > deadline {
+                    // Every step at cycles ≤ deadline has happened (the
+                    // sequential loop fires the boundary between its steps at
+                    // `deadline` and `deadline + 1`): close the window.
+                    let mut stalls = vec![0u64; n];
+                    for (sm, stall) in stalls.iter_mut().enumerate() {
+                        *stall = guards[sm % nshards]
+                            .throttle
+                            .drain_window_stalls(sm, deadline);
+                    }
+                    gpu.throttle.close_window_with(&stalls);
+                    let probs = gpu.throttle.probs().to_vec();
+                    for shard in guards.iter_mut() {
+                        shard.throttle.sync_after_window(&probs);
+                    }
+                    deadline = gpu.throttle.next_deadline();
+                    continue;
+                }
+                if parked {
+                    let shard = &mut *guards[si];
+                    commit_lane(
+                        &mut shard.lanes[li],
+                        &mut shard.throttle,
+                        &mut gpu.shared,
+                        &mut gpu.dispatcher,
+                        kinfo,
+                        &lat,
+                    );
+                    // Grid completion can only happen here (it takes an exit
+                    // issue, which always parks), and the min-key order
+                    // guarantees no lane has yet stepped past `b` — so
+                    // clamping now reproduces the sequential `finished()`
+                    // gate exactly.
+                    if finished_at.is_none()
+                        && gpu.dispatcher.remaining() == 0
+                        && guards
+                            .iter()
+                            .all(|g| g.lanes.iter().all(|l| l.sm.live_blocks() == 0))
+                    {
+                        finished_at = Some(b);
+                        bound = b + 1;
+                    }
+                    continue;
+                }
+                if runnable == 1 {
+                    // A lone lane between commits: running it inline beats a
+                    // barrier round-trip through idle workers.
+                    let shard = &mut *guards[si];
+                    free_run_lane(
+                        &mut shard.lanes[li],
+                        &mut shard.throttle,
+                        &mut shard.stub,
+                        &mut shard.scrap,
+                        kinfo,
+                        &lat,
+                        max_pending,
+                        deadline,
+                        bound,
+                    );
+                    continue;
+                }
+                break; // ≥2 lanes can progress independently: go parallel
+            }
+            drop(guards);
+
+            if threaded {
+                horizon_cell.store(deadline, Ordering::Release);
+                bound_cell.store(bound, Ordering::Release);
+                start.wait();
+                {
+                    let mut shard = cells[0].lock().unwrap();
+                    free_run_shard(&mut shard, kinfo, &lat, max_pending, deadline, bound);
+                }
+                done.wait();
+            } else {
+                for cell in cells.iter() {
+                    let mut shard = cell.lock().unwrap();
+                    free_run_shard(&mut shard, kinfo, &lat, max_pending, deadline, bound);
+                }
+            }
+        }
+        if threaded {
+            stop.store(true, Ordering::Release);
+            start.wait(); // release the workers into their exit path
+        }
+    });
+
+    // Tear down: reassemble the SM array in id order, credit interrupted
+    // sleepers, and aggregate — the same epilogue as the sequential loop.
+    let mut lanes: Vec<Lane> = cells
+        .iter()
+        .flat_map(|c| {
+            let shard = &mut *c.lock().unwrap();
+            debug_assert_eq!(
+                shard.stub.stats,
+                Default::default(),
+                "free-run must never touch (even stub) global memory"
+            );
+            std::mem::take(&mut shard.lanes)
+        })
+        .collect();
+    lanes.sort_by_key(|l| l.sm.id);
+    // The sequential loop's exit cycle: one past the grid-completing
+    // iteration (the completing SM's exit issue keeps its wake-up at the
+    // next cycle, so the fast-forward jump never overshoots it), or the
+    // bound on a timeout.
+    let finished = finished_at.is_some();
+    let final_cycle = finished_at.map_or(max_cycles, |c| c + 1);
+    debug_assert_eq!(
+        finished,
+        gpu.dispatcher.remaining() == 0 && lanes.iter().all(|l| l.sm.live_blocks() == 0)
+    );
+    for lane in &mut lanes {
+        if let Some(since) = lane.sleep_from.take() {
+            if final_cycle > since {
+                if lane.sleep_gated {
+                    lane.sm.credit_gated(final_cycle - since);
+                } else {
+                    lane.sm.credit_skipped(final_cycle - since);
+                }
+            }
+        }
+    }
+    gpu.shared.finalize(final_cycle);
+    gpu.sms.extend(lanes.into_iter().map(|l| l.sm));
+    gpu.collect(final_cycle, !finished)
+}

@@ -64,9 +64,12 @@ pub struct MemStats {
     /// partitions); exact across fast-forward jumps like
     /// [`Self::mshr_occupancy_cycles`].
     pub dram_queue_occupancy_cycles: u64,
-    /// Event model: most MSHR entries ever occupied in one partition.
+    /// Event model: most MSHR entries ever occupied **across all
+    /// partitions**, sampled at every admission (admissions are the only
+    /// point totals grow, so the sample sees every peak).
     pub peak_mshr_occupancy: u32,
-    /// Event model: most DRAM-queue slots ever held in one partition.
+    /// Event model: most DRAM-queue slots ever held across all partitions,
+    /// sampled at admission like [`Self::peak_mshr_occupancy`].
     pub peak_dram_queue_occupancy: u32,
 }
 
@@ -185,6 +188,38 @@ impl SimStats {
     /// Percentage decrease in idle cycles vs `baseline`.
     pub fn idle_decrease_pct(&self, baseline: &SimStats) -> f64 {
         decrease_pct(self.idle_cycles, baseline.idle_cycles)
+    }
+
+    /// Roll per-SM counters (in SM-id order) and the shared-memory counters
+    /// into whole-run statistics. Both execution engines — the sequential
+    /// loop and the sharded epoch loop — build their result through this one
+    /// function, so the sharded path cannot drift from the sequential one in
+    /// how counters are folded (the bit-identity the equivalence suite pins).
+    pub fn aggregate<'a, I>(cycles: u64, timed_out: bool, mem: MemStats, sms: I) -> SimStats
+    where
+        I: IntoIterator<Item = &'a SmStats>,
+    {
+        let mut out = SimStats {
+            cycles,
+            timed_out,
+            mem,
+            ..SimStats::default()
+        };
+        for s in sms {
+            out.warp_instrs += s.warp_instrs;
+            out.thread_instrs += s.thread_instrs;
+            out.stall_cycles += s.stall_cycles;
+            out.idle_cycles += s.idle_cycles;
+            out.empty_cycles += s.empty_cycles;
+            out.blocks_completed += s.blocks_completed;
+            out.max_resident_blocks = out.max_resident_blocks.max(s.max_resident_blocks);
+            out.lock_retries += s.lock_retries;
+            out.throttled_issues += s.throttled_issues;
+            out.mshr_full_stalls += s.mshr_full_stalls;
+            out.dram_queue_full_stalls += s.dram_queue_full_stalls;
+            out.per_sm.push(s.clone());
+        }
+        out
     }
 }
 

@@ -52,10 +52,14 @@ pub struct Warp {
     pub at_barrier: bool,
     /// Retired.
     pub finished: bool,
-    /// Streaming-pattern position counter.
-    pub stream_pos: u32,
-    /// Tile-pattern position counter.
-    pub tile_pos: u32,
+    /// Streaming-pattern position counter. Wide on purpose: the address
+    /// generator advances it saturatingly, never by wrapping — a wrap would
+    /// silently re-alias the stream onto already-visited lines and corrupt
+    /// the hit-rate statistics (see `mem::generate_addresses`).
+    pub stream_pos: u64,
+    /// Tile-pattern position counter; same non-wrapping contract as
+    /// [`Self::stream_pos`].
+    pub tile_pos: u64,
     /// Per-warp deterministic RNG for scatter address generation.
     pub rng: XorShift64,
 }

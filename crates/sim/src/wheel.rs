@@ -13,7 +13,13 @@
 //! releases. Events scheduled for the same cycle land in the same bucket and
 //! drain together in insertion order — which is what lets a warp's N
 //! per-transaction completions coalesce into one wake-up without any extra
-//! merging structure.
+//! merging structure. Insertion-order draining is also a determinism
+//! contract: every engine (per-cycle, fast-forward, sharded) inserts a
+//! given SM's events in the same canonical order, so same-cycle ties
+//! resolve identically everywhere. Within one SM cycle the ordering is
+//! writeback drains first, then lazy memory-capacity releases
+//! (`SharedMem::advance_to`), then the gate read — see the tie-break note
+//! in [`crate::sm::Sm::step`].
 //!
 //! Layout: a ring of `SLOTS` buckets indexed by `cycle % SLOTS`. An event
 //! scheduled more than `SLOTS` cycles ahead (possible only under extreme

@@ -1,0 +1,220 @@
+//! The sharded engine's contract: `SimStats` — every field, including the
+//! stall/idle/empty cycle split, per-SM breakdowns, throttle counters and
+//! the event memory model's occupancy integrals — is **bit-identical**
+//! between `RunConfig::shards` at any shard count and the sequential
+//! engine. The matrix covers all four schedulers crossed with all three
+//! sharing modes and both global-memory timing models, at 2 and 4 shards
+//! (4 SMs, so 4 shards exercises one-lane shards), plus a property test
+//! over random kernels (pinned seeds in `proptest-regressions/`).
+
+use gpu_resource_sharing::core::SchedulerKind;
+use gpu_resource_sharing::isa::GlobalPattern as GP;
+use gpu_resource_sharing::prelude::*;
+use gpu_resource_sharing::sim::MemoryModel;
+use proptest::prelude::*;
+
+/// hotspot: register-limited and compute-heavy. conv1: scratchpad-limited
+/// with streaming global loads and a per-iteration barrier — dense
+/// cross-SM memory interleaving, the hard case for commit ordering.
+fn kernels() -> Vec<gpu_resource_sharing::isa::Kernel> {
+    let mut hotspot = workloads::set1::hotspot();
+    hotspot.grid_blocks = 28;
+    let mut conv1 = workloads::set2::conv1();
+    conv1.grid_blocks = 28;
+    vec![hotspot, conv1]
+}
+
+fn config(sched: SchedulerKind, sharing: SharingMode, model: MemoryModel) -> RunConfig {
+    let base = match sharing {
+        SharingMode::None => RunConfig::baseline_lrr(),
+        SharingMode::Registers => RunConfig::paper_register_sharing(),
+        SharingMode::Scratchpad => {
+            // Enable the throttle so the sharded window-close protocol and
+            // the per-SM RNG streams are exercised.
+            let mut cfg = RunConfig::paper_scratchpad_sharing();
+            cfg.dyn_throttle = true;
+            cfg
+        }
+    };
+    let mut cfg = base.with_scheduler(sched).with_memory_model(model);
+    cfg.gpu.num_sms = 4;
+    cfg
+}
+
+#[test]
+fn sharded_runs_are_bit_identical_across_the_full_matrix() {
+    let schedulers = [
+        SchedulerKind::Lrr,
+        SchedulerKind::Gto,
+        SchedulerKind::TwoLevel { group_size: 8 },
+        SchedulerKind::Owf,
+    ];
+    let sharing_modes = [
+        SharingMode::None,
+        SharingMode::Registers,
+        SharingMode::Scratchpad,
+    ];
+    let models = [MemoryModel::Functional, MemoryModel::Event];
+    for kernel in kernels() {
+        for sched in schedulers {
+            for sharing in sharing_modes {
+                for model in models {
+                    let cfg = config(sched, sharing, model);
+                    let sequential = Simulator::new(cfg.clone()).run(&kernel);
+                    assert!(!sequential.timed_out, "{}", kernel.name);
+                    assert_eq!(sequential.blocks_completed, u64::from(kernel.grid_blocks));
+                    for shards in [2usize, 4] {
+                        let sharded =
+                            Simulator::new(cfg.clone().with_shards(Some(shards))).run(&kernel);
+                        assert_eq!(
+                            sharded, sequential,
+                            "{} under {sched:?} × {sharing:?} × {model:?} diverges at {shards} shards",
+                            kernel.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn shard_counts_beyond_the_sm_count_degrade_gracefully() {
+    // shards = 0, 1, and more-shards-than-SMs must all run (clamped) and
+    // stay bit-identical.
+    let kernel = &kernels()[1];
+    let cfg = config(
+        SchedulerKind::Gto,
+        SharingMode::Scratchpad,
+        MemoryModel::Event,
+    );
+    let sequential = Simulator::new(cfg.clone()).run(kernel);
+    for shards in [0usize, 1, 16] {
+        let sharded = Simulator::new(cfg.clone().with_shards(Some(shards))).run(kernel);
+        assert_eq!(sharded, sequential, "diverges at {shards} shards");
+    }
+}
+
+#[test]
+fn the_worker_thread_path_matches_the_inline_path() {
+    // On single-core machines the engine normally skips worker threads and
+    // free-runs every shard inline; force both paths and pin them to the
+    // sequential result so the barrier/handoff protocol is exercised
+    // everywhere. The env var is process-global, but every value of it
+    // produces bit-identical statistics, so concurrent tests are unaffected.
+    let kernel = &kernels()[1];
+    let cfg = config(
+        SchedulerKind::Owf,
+        SharingMode::Registers,
+        MemoryModel::Event,
+    );
+    let sequential = Simulator::new(cfg.clone()).run(kernel);
+    for mode in ["always", "never"] {
+        std::env::set_var("GRS_SHARD_THREADS", mode);
+        let sharded = Simulator::new(cfg.clone().with_shards(Some(2))).run(kernel);
+        std::env::remove_var("GRS_SHARD_THREADS");
+        assert_eq!(sharded, sequential, "GRS_SHARD_THREADS={mode} diverges");
+    }
+}
+
+#[test]
+fn sharded_timeout_reports_the_cycle_bound() {
+    // A run cut off by max_cycles must report the same truncated statistics
+    // (cycles == max_cycles, timed_out, partial counters) as the sequential
+    // engine — the teardown crediting path.
+    let kernel = &kernels()[1];
+    let cfg =
+        config(SchedulerKind::Lrr, SharingMode::None, MemoryModel::Event).with_max_cycles(5_000);
+    let sequential = Simulator::new(cfg.clone()).run(kernel);
+    assert!(sequential.timed_out);
+    assert_eq!(sequential.cycles, 5_000);
+    let sharded = Simulator::new(cfg.with_shards(Some(2))).run(kernel);
+    assert_eq!(sharded, sequential);
+}
+
+#[derive(Debug, Clone)]
+struct KernelSpec {
+    threads_log2: u32,
+    regs: u32,
+    smem: u32,
+    grid: u32,
+    alu: u32,
+    mem_kind: u8,
+    trips: u16,
+    barrier: bool,
+}
+
+fn spec() -> impl Strategy<Value = KernelSpec> {
+    (
+        0u32..=3,    // threads = 32 << n
+        4u32..=48,   // regs/thread
+        0u32..=6000, // smem/block
+        1u32..=24,   // grid blocks
+        1u32..=6,    // alu per iteration
+        0u8..=3,     // memory pattern
+        0u16..=10,   // loop trips
+        proptest::bool::ANY,
+    )
+        .prop_map(
+            |(tl, regs, smem, grid, alu, mem_kind, trips, barrier)| KernelSpec {
+                threads_log2: tl,
+                regs,
+                smem,
+                grid,
+                alu,
+                mem_kind,
+                trips,
+                barrier,
+            },
+        )
+}
+
+fn build(s: &KernelSpec) -> gpu_resource_sharing::isa::Kernel {
+    let mut b = KernelBuilder::new("shardprop")
+        .threads_per_block(32 << s.threads_log2)
+        .regs_per_thread(s.regs)
+        .smem_per_block(s.smem)
+        .grid_blocks(s.grid);
+    let top = b.here();
+    b = match s.mem_kind {
+        0 => b.ld_global(GP::Stream),
+        1 => b.ld_global(GP::BlockTile { tile_lines: 16 }),
+        2 => b.ld_global(GP::Scatter {
+            span_lines: 64,
+            txns: 2,
+        }),
+        _ => b.ld_global(GP::KernelTile { tile_lines: 16 }),
+    };
+    b = b.ialu(s.alu).ffma(2);
+    if s.smem > 64 {
+        b = b
+            .st_shared(0, 64.min(s.smem / 2))
+            .ld_shared(s.smem / 2, 64.min(s.smem - s.smem / 2));
+    }
+    if s.barrier {
+        b = b.barrier();
+    }
+    b = b.loop_back(top, s.trips).st_global(GP::Stream);
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn random_kernels_are_bit_identical_when_sharded(s in spec()) {
+        let k = build(&s);
+        for base in [
+            RunConfig::baseline_lrr(),
+            RunConfig::paper_register_sharing().with_memory_model(MemoryModel::Event),
+            RunConfig::paper_scratchpad_sharing().with_dyn_throttle(true),
+        ] {
+            let mut cfg = base;
+            cfg.gpu.num_sms = 2;
+            cfg.max_cycles = 2_000_000;
+            let sharded = Simulator::new(cfg.clone().with_shards(Some(2))).try_run(&k);
+            let sequential = Simulator::new(cfg.clone().with_shards(None)).try_run(&k);
+            prop_assert_eq!(sharded, sequential, "spec {:?} under {:?}", s, cfg.scheduler);
+        }
+    }
+}
