@@ -9,4 +9,4 @@ pub mod experiments;
 pub mod perf;
 pub mod runner;
 
-pub use runner::{run_all, Job};
+pub use runner::{run_all, run_all_report, Job, JobResult};

@@ -15,9 +15,13 @@
 //!   fig12    Fig. 12 Set-3 policy equivalences
 //!   table5   Table V/VI  IPC and blocks vs %register sharing
 //!   table7   Table VII/VIII IPC and blocks vs %scratchpad sharing
-//!   perf     simulator-engine throughput (fast-forward vs reference, and
-//!            the sharded epoch engine at several shard counts); writes
-//!            BENCH_pr2.json and BENCH_pr6.json (not paper artifacts)
+//!   perf     simulator-engine throughput (fast-forward vs reference, the
+//!            sharded epoch engine at several shard counts, and the
+//!            supervision layer's overhead); writes BENCH_pr2.json,
+//!            BENCH_pr6.json and BENCH_pr7.json (not paper artifacts)
+//!   perf-gate  scheduled perf-regression gate: measure the primary
+//!            fast-forward speedup and exit nonzero below the floor
+//!            (default 5x, override with --min-speedup=<x>)
 //!   all      every paper artifact above (perf runs only when asked)
 //! ```
 //!
@@ -50,6 +54,26 @@ fn main() {
             let reps = if quick { 3 } else { 20 };
             perf::write_report(reps).expect("writing BENCH_pr2.json failed");
             perf::write_shard_report(reps).expect("writing BENCH_pr6.json failed");
+            perf::write_supervision_report(reps).expect("writing BENCH_pr7.json failed");
+        }
+        "perf-gate" => {
+            let floor = std::env::args()
+                .find_map(|a| a.strip_prefix("--min-speedup=")?.parse::<f64>().ok())
+                .unwrap_or(5.0);
+            let reps = if quick { 3 } else { 10 };
+            match perf::check_speedup_gate(floor, reps) {
+                Ok(m) => println!(
+                    "perf gate ok: {:.2}x >= {floor:.2}x floor ({} cycles, fast {:.4}s, ref {:.4}s)",
+                    m.speedup(),
+                    m.cycles,
+                    m.fast_s,
+                    m.reference_s
+                ),
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    std::process::exit(1);
+                }
+            }
         }
         other => {
             if let Some(bench) = other.strip_prefix("inspect=") {

@@ -21,11 +21,18 @@
 //! the statistics of every timed run asserted bit-identical to the
 //! sequential result (a benchmark that drifted would be measuring a
 //! different simulation).
+//!
+//! [`write_supervision_report`] emits `BENCH_pr7.json`: the wall-clock
+//! overhead of the supervision layer (checkpointing, and a full
+//! rollback-and-degrade recovery from an injected worker panic), again with
+//! every supervised run asserted bit-identical to its plain twin.
+//! [`check_speedup_gate`] is the scheduled perf-regression gate over the
+//! primary fast-forward speedup ratio.
 
 use std::time::Instant;
 
 use grs_isa::Kernel;
-use grs_sim::{MemoryModel, RunConfig, Simulator};
+use grs_sim::{FaultPlan, MemoryModel, RunConfig, Simulator};
 
 /// One timed engine comparison.
 #[derive(Debug, Clone)]
@@ -337,6 +344,203 @@ pub fn write_shard_report(reps: u32) -> std::io::Result<()> {
     Ok(())
 }
 
+/// One timed supervision-overhead comparison: the same run plain and under
+/// a supervision feature (checkpointing, or panic recovery from an injected
+/// fault), with the statistics asserted bit-identical — the robustness
+/// layer's whole contract is that it is invisible in the results.
+#[derive(Debug, Clone)]
+pub struct SupervisionMeasurement {
+    /// Scenario label.
+    pub name: String,
+    /// Simulated cycles per run (identical in both modes by construction).
+    pub cycles: u64,
+    /// Best-of-reps wall seconds, supervision feature off.
+    pub plain_s: f64,
+    /// Best-of-reps wall seconds, supervision feature on.
+    pub supervised_s: f64,
+    /// Checkpoints written per supervised run.
+    pub checkpoints: u64,
+    /// Recovery-ladder hops per supervised run.
+    pub recoveries: usize,
+}
+
+impl SupervisionMeasurement {
+    /// Wall-clock cost of the feature: supervised over plain (≥ ~1.0).
+    pub fn overhead(&self) -> f64 {
+        self.supervised_s / self.plain_s
+    }
+}
+
+/// Time `plain` against `supervised` (same kernel), asserting bit-identical
+/// statistics. `fault` injects a fresh copy of the given fault points into
+/// every supervised rep.
+fn measure_supervised(
+    name: &str,
+    kernel: &Kernel,
+    plain: &RunConfig,
+    supervised: &RunConfig,
+    fault: Option<&[(u64, usize)]>,
+    reps: u32,
+) -> SupervisionMeasurement {
+    let mut plain_s = f64::MAX;
+    let mut supervised_s = f64::MAX;
+    let base_sim = Simulator::new(plain.clone());
+    let sup_sim = Simulator::new(supervised.clone());
+    let mut baseline = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let stats = base_sim.run(kernel);
+        plain_s = plain_s.min(t.elapsed().as_secs_f64());
+        baseline = Some(stats);
+    }
+    let baseline = baseline.expect("reps >= 1");
+    let mut checkpoints = 0;
+    let mut recoveries = 0;
+    for _ in 0..reps.max(1) {
+        // A fresh plan per rep: each fault fires once per supervised run.
+        let plan = fault.map(FaultPlan::at);
+        let t = Instant::now();
+        let report = match &plan {
+            Some(p) => sup_sim
+                .try_run_report_with_faults(kernel, p)
+                .expect("valid kernel"),
+            None => sup_sim.run_report(kernel),
+        };
+        supervised_s = supervised_s.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            report.stats, baseline,
+            "supervision changed the statistics in scenario {name}"
+        );
+        if let Some(p) = &plan {
+            assert_eq!(p.fired(), p.len(), "an injected fault never fired");
+        }
+        checkpoints = report.checkpoints;
+        recoveries = report.recoveries.len();
+    }
+    SupervisionMeasurement {
+        name: name.to_string(),
+        cycles: baseline.cycles,
+        plain_s,
+        supervised_s,
+        checkpoints,
+        recoveries,
+    }
+}
+
+/// Run the supervision-overhead suite: checkpointing on the primary
+/// event-model scenario (sequential and sharded) and a full
+/// rollback-and-degrade recovery from an injected worker panic.
+pub fn run_supervision_suite(reps: u32) -> Vec<SupervisionMeasurement> {
+    let kernel = scenario_kernel();
+    let event = scenario_config_event();
+    let sharded = event.clone().with_shards(Some(2));
+    vec![
+        measure_supervised(
+            "checkpoint-5k",
+            &kernel,
+            &event,
+            &event.clone().with_checkpoint_every(Some(5_000)),
+            None,
+            reps,
+        ),
+        measure_supervised(
+            "checkpoint-5k/shards2",
+            &kernel,
+            &sharded,
+            &sharded.clone().with_checkpoint_every(Some(5_000)),
+            None,
+            reps,
+        ),
+        measure_supervised(
+            "fault-recovery/shards2",
+            &kernel,
+            &sharded,
+            &sharded.clone().with_checkpoint_every(Some(5_000)),
+            Some(&[(10, 1)]),
+            reps,
+        ),
+    ]
+}
+
+/// Serialize supervision measurements as the `BENCH_pr7.json` document
+/// (hand-rolled JSON; the offline serde shim has no serializer).
+/// `stats_identical` is asserted, not sampled — a report only exists if
+/// every supervised run matched its plain twin bit for bit.
+pub fn render_supervision_report(ms: &[SupervisionMeasurement]) -> String {
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut s = format!(
+        "{{\n  \"bench\": \"perf_supervise\",\n  \"primary\": \"checkpoint-5k\",\n  \"available_parallelism\": {cores},\n  \"stats_identical\": true,\n  \"scenarios\": [\n"
+    );
+    for (i, m) in ms.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"plain_s\": {:.6}, \"supervised_s\": {:.6}, \"overhead\": {:.3}, \"checkpoints\": {}, \"recoveries\": {}}}{}\n",
+            m.name,
+            m.cycles,
+            m.plain_s,
+            m.supervised_s,
+            m.overhead(),
+            m.checkpoints,
+            m.recoveries,
+            if i + 1 == ms.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Execute the supervision suite, print a table, and write `BENCH_pr7.json`
+/// into the current directory.
+pub fn write_supervision_report(reps: u32) -> std::io::Result<()> {
+    let ms = run_supervision_suite(reps);
+    println!(
+        "{:<24} {:>9} {:>10} {:>10} {:>9} {:>12} {:>10}",
+        "scenario", "cycles", "plain", "supervised", "overhead", "checkpoints", "recoveries"
+    );
+    for m in &ms {
+        println!(
+            "{:<24} {:>9} {:>9.4}s {:>9.4}s {:>8.3}x {:>12} {:>10}",
+            m.name,
+            m.cycles,
+            m.plain_s,
+            m.supervised_s,
+            m.overhead(),
+            m.checkpoints,
+            m.recoveries
+        );
+    }
+    std::fs::write("BENCH_pr7.json", render_supervision_report(&ms))?;
+    println!("wrote BENCH_pr7.json");
+    Ok(())
+}
+
+/// The scheduled perf-regression gate: the fast-forward engine must beat
+/// the per-cycle reference loop by at least `min_speedup` on the primary
+/// dead-wait scenario. Returns the offending measurement's summary on
+/// failure. Run from a *scheduled* CI job, not per-PR — wall-clock ratios
+/// on shared runners are too noisy to block merges, but a sustained drop
+/// below the floor (the engine's raison d'être is ~10×+) is a regression
+/// someone should look at.
+pub fn check_speedup_gate(min_speedup: f64, reps: u32) -> Result<Measurement, String> {
+    let m = measure(
+        "conv1-28/dram1600",
+        &scenario_kernel(),
+        &scenario_config(),
+        reps,
+    );
+    if m.speedup() >= min_speedup {
+        Ok(m)
+    } else {
+        Err(format!(
+            "fast-forward speedup gate failed: {:.2}x < {min_speedup:.2}x floor \
+             (fast {:.4}s, reference {:.4}s over {} cycles)",
+            m.speedup(),
+            m.fast_s,
+            m.reference_s,
+            m.cycles
+        ))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +585,36 @@ mod tests {
     fn shard_counts_cover_the_pinned_points() {
         let counts = shard_counts();
         assert!(counts.contains(&2) && counts.contains(&4));
+    }
+
+    #[test]
+    fn supervision_measurement_math_and_json_shape() {
+        let m = SupervisionMeasurement {
+            name: "x".into(),
+            cycles: 1000,
+            plain_s: 0.5,
+            supervised_s: 0.6,
+            checkpoints: 7,
+            recoveries: 1,
+        };
+        assert!((m.overhead() - 1.2).abs() < 1e-9);
+        let json = render_supervision_report(std::slice::from_ref(&m));
+        assert!(json.contains("\"bench\": \"perf_supervise\""));
+        assert!(json.contains("\"stats_identical\": true"));
+        assert!(json.contains("\"checkpoints\": 7"));
+        assert!(json.contains("\"recoveries\": 1"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn the_speedup_gate_passes_a_trivial_floor_and_fails_an_absurd_one() {
+        // One real measurement serves both directions: any working build
+        // beats 1.0x on the dead-wait scenario, and no build reaches
+        // 1e6x — so both gate branches are exercised without flakiness.
+        let m = check_speedup_gate(1.0, 1).expect("the engine must beat the reference loop");
+        assert!(m.speedup() >= 1.0);
+        let err = check_speedup_gate(1e6, 1).unwrap_err();
+        assert!(err.contains("speedup gate failed"), "{err}");
     }
 
     #[test]

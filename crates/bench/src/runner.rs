@@ -6,7 +6,14 @@
 //! `std::thread::scope`. Each worker owns its jobs outright and returns its
 //! chunk's results, which concatenate back in job order — no shared result
 //! slots, no locks, no cloning of job data.
+//!
+//! Sweeps are crash-hardened: every job runs under `catch_unwind`, a
+//! panicking job is retried once on the sequential engine (no worker
+//! threads, the most conservative configuration), and a job that still
+//! fails is *recorded* in the sweep report ([`run_all_report`]) rather than
+//! aborting the other few hundred simulations of an overnight sweep.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread;
 
 use grs_isa::Kernel;
@@ -43,9 +50,73 @@ pub fn shrink_grid(kernel: &mut Kernel, divisor: u32) {
     kernel.grid_blocks = (kernel.grid_blocks / divisor.max(1)).max(floor);
 }
 
-/// Run every job, in parallel across available cores; results come back in
-/// job order.
-pub fn run_all(jobs: Vec<Job>) -> Vec<(String, SimStats)> {
+/// Outcome of one job in a hardened sweep.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's label, verbatim.
+    pub label: String,
+    /// Statistics, if any attempt succeeded.
+    pub stats: Option<SimStats>,
+    /// Simulation attempts made (1, or 2 after a retry).
+    pub attempts: u32,
+    /// The first attempt panicked but the sequential-engine retry
+    /// succeeded; [`Self::error`] holds the original panic.
+    pub recovered: bool,
+    /// Panic message: the first attempt's if recovered, the retry's if the
+    /// job failed outright, `None` on a clean run.
+    pub error: Option<String>,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string())
+}
+
+fn attempt(cfg: &RunConfig, kernel: &Kernel) -> Result<SimStats, String> {
+    let sim = Simulator::new(cfg.clone());
+    catch_unwind(AssertUnwindSafe(|| sim.run(kernel))).map_err(panic_message)
+}
+
+fn run_job(job: Job) -> JobResult {
+    match attempt(&job.cfg, &job.kernel) {
+        Ok(stats) => JobResult {
+            label: job.label,
+            stats: Some(stats),
+            attempts: 1,
+            recovered: false,
+            error: None,
+        },
+        Err(first) => {
+            // Retry once on the sequential engine — no worker threads, no
+            // shard protocol, the smallest possible surface.
+            let retry = job.cfg.clone().with_shards(None);
+            match attempt(&retry, &job.kernel) {
+                Ok(stats) => JobResult {
+                    label: job.label,
+                    stats: Some(stats),
+                    attempts: 2,
+                    recovered: true,
+                    error: Some(first),
+                },
+                Err(second) => JobResult {
+                    label: job.label,
+                    stats: None,
+                    attempts: 2,
+                    recovered: false,
+                    error: Some(second),
+                },
+            }
+        }
+    }
+}
+
+/// Run every job, in parallel across available cores, with per-job crash
+/// isolation (see the module docs); results come back in job order, one
+/// [`JobResult`] per job.
+pub fn run_all_report(jobs: Vec<Job>) -> Vec<JobResult> {
     let n = jobs.len();
     if n == 0 {
         return Vec::new();
@@ -66,21 +137,37 @@ pub fn run_all(jobs: Vec<Job>) -> Vec<(String, SimStats)> {
     thread::scope(|s| {
         let handles: Vec<_> = chunks
             .into_iter()
-            .map(|chunk| {
-                s.spawn(move || {
-                    chunk
-                        .into_iter()
-                        .map(|job| (job.label, Simulator::new(job.cfg).run(&job.kernel)))
-                        .collect::<Vec<_>>()
-                })
-            })
+            .map(|chunk| s.spawn(move || chunk.into_iter().map(run_job).collect::<Vec<_>>()))
             .collect();
         let mut out = Vec::with_capacity(n);
         for h in handles {
-            out.extend(h.join().expect("runner worker panicked"));
+            out.extend(h.join().expect("runner worker panicked outside a job"));
         }
         out
     })
+}
+
+/// Run every job, in parallel across available cores; results come back in
+/// job order. A job that fails even after the sequential-engine retry
+/// contributes default (all-zero) statistics under its label, with a
+/// warning on stderr — experiments index results positionally and must
+/// receive exactly one entry per job.
+pub fn run_all(jobs: Vec<Job>) -> Vec<(String, SimStats)> {
+    run_all_report(jobs)
+        .into_iter()
+        .map(|r| {
+            let stats = r.stats.unwrap_or_else(|| {
+                eprintln!(
+                    "warning: job `{}` failed after {} attempts ({}); reporting zeroed stats",
+                    r.label,
+                    r.attempts,
+                    r.error.as_deref().unwrap_or("no panic message")
+                );
+                SimStats::default()
+            });
+            (r.label, stats)
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -134,6 +221,47 @@ mod tests {
                 .collect()
         };
         assert_eq!(run_all(jobs()), run_all(jobs()));
+    }
+
+    #[test]
+    fn a_failing_job_is_recorded_without_sinking_the_sweep() {
+        // grid_blocks = 0 fails validation, so `Simulator::run` panics on
+        // both attempts; the sweep must still return every job in order.
+        let mut cfg = RunConfig::baseline_lrr();
+        cfg.gpu.num_sms = 1;
+        let good = KernelBuilder::new("good")
+            .threads_per_block(32)
+            .regs_per_thread(8)
+            .grid_blocks(2)
+            .ialu(3)
+            .build();
+        let mut bad = good.clone();
+        bad.grid_blocks = 0;
+        let jobs = vec![
+            Job::new("a", cfg.clone(), good.clone()),
+            Job::new("boom", cfg.clone(), bad),
+            Job::new("c", cfg.clone(), good.clone()),
+        ];
+        let report = run_all_report(jobs.clone());
+        assert_eq!(report.len(), 3);
+        assert_eq!(report[0].label, "a");
+        assert!(report[0].stats.is_some() && report[0].error.is_none());
+        assert_eq!(report[0].attempts, 1);
+        let failed = &report[1];
+        assert_eq!(failed.label, "boom");
+        assert!(failed.stats.is_none());
+        assert_eq!(failed.attempts, 2);
+        assert!(!failed.recovered);
+        assert!(failed.error.is_some());
+        assert!(report[2].stats.is_some());
+
+        // The positional interface substitutes zeroed stats, preserving the
+        // one-entry-per-job shape experiments index into.
+        let flat = run_all(jobs);
+        assert_eq!(flat.len(), 3);
+        assert_eq!(flat[1].0, "boom");
+        assert_eq!(flat[1].1, SimStats::default());
+        assert_eq!(flat[2].1.blocks_completed, 2);
     }
 
     #[test]

@@ -217,6 +217,19 @@ impl DynThrottle {
         }
     }
 
+    /// Adopt `sm`'s live per-SM bookkeeping — window stall count, pending
+    /// idle-span anchor and RNG stream position — from `src`. The sharded
+    /// engine's span teardown uses this to fold each shard clone's state
+    /// back into the master instance so a checkpoint taken at the span
+    /// boundary carries the exact per-SM state the sequential loop would
+    /// hold (probabilities and the deadline already live on the master via
+    /// [`Self::close_window_with`]).
+    pub fn adopt_sm(&mut self, sm: usize, src: &DynThrottle) {
+        self.window_stalls[sm] = src.window_stalls[sm];
+        self.idle_since[sm] = src.idle_since[sm];
+        self.rng_state[sm] = src.rng_state[sm];
+    }
+
     /// Fire every window boundary up to and including `now`, crediting
     /// sleeping SMs' idle stalls into each window first. Calling this once
     /// per simulated-or-skipped-to cycle is exactly equivalent to the

@@ -50,8 +50,67 @@ use crate::mem::{MemoryModel, SharedMem};
 use crate::sm::{Sm, SmMode};
 use crate::stats::SimStats;
 
+/// Engine-loop state carried between [`Gpu::run_until`] spans: the per-SM
+/// wake/sleep bookkeeping plus the clock. Splitting it out of the run loop
+/// is what makes checkpoint/resume possible — a [`Snapshot`] is exactly
+/// `(cloned Gpu, cloned EngineState)`, and resuming a span from either a
+/// fresh [`Gpu::start`] or a restored snapshot is bit-identical to a
+/// straight run (the loop body never reads anything else).
+#[derive(Debug, Clone)]
+pub struct EngineState {
+    /// Per-SM wake-up cycle (`u64::MAX`: empty, nothing can ever wake it).
+    pub(crate) wake_at: Vec<u64>,
+    /// For sleepers, the first slept cycle (for stats crediting).
+    pub(crate) sleep_from: Vec<Option<u64>>,
+    /// Whether a slept span is a memory-gated stall span.
+    pub(crate) sleep_gated: Vec<bool>,
+    /// Next cycle the engine will evaluate.
+    pub(crate) cycle: u64,
+    /// Latest cycle on which any SM issued an instruction (0 before the
+    /// first issue) — the non-event half of the watchdog watermark.
+    pub(crate) last_issue: u64,
+}
+
+impl EngineState {
+    /// Next cycle the engine will evaluate.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+}
+
+/// How a bounded [`Gpu::run_until`] span ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEnd {
+    /// The grid drained.
+    Finished,
+    /// The stop cycle arrived first.
+    ReachedStop,
+    /// The forward-progress watchdog tripped: a full window elapsed past
+    /// the progress watermark with no issue and no scheduled event left to
+    /// fire — the machine state can never change again.
+    Stalled,
+}
+
+/// Deep-copy checkpoint of a run in flight: the complete deterministic
+/// state — per-SM warp/slot/wheel state, event-model MSHR/DRAM partition
+/// tables, dispatcher, throttle RNG streams — plus the engine-loop
+/// bookkeeping. Restoring and running to completion is bit-identical to
+/// never having stopped ([`crate::run::RunConfig::checkpoint_every`]).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    gpu: Gpu,
+    engine: EngineState,
+}
+
+impl Snapshot {
+    /// Cycle the checkpoint resumes at.
+    pub fn cycle(&self) -> u64 {
+        self.engine.cycle
+    }
+}
+
 /// A configured GPU mid-simulation.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Gpu {
     /// The SM array.
     pub sms: Vec<Sm>,
@@ -145,17 +204,78 @@ impl Gpu {
     /// Run until the grid completes or `max_cycles` elapse; returns the
     /// aggregated statistics.
     pub fn run(&mut self, kinfo: &KernelInfo, max_cycles: u64) -> SimStats {
+        let mut st = self.start(kinfo);
+        self.run_until(&mut st, kinfo, max_cycles, None);
+        self.finish(st)
+    }
+
+    /// Dispatch the grid's initial wave and hand back a fresh engine state
+    /// positioned at cycle 0.
+    pub fn start(&mut self, kinfo: &KernelInfo) -> EngineState {
         self.initial_fill(kinfo);
+        let n = self.sms.len();
+        EngineState {
+            wake_at: vec![0u64; n],
+            sleep_from: vec![None; n],
+            sleep_gated: vec![false; n],
+            cycle: 0,
+            last_issue: 0,
+        }
+    }
+
+    /// Deep-copy checkpoint of the machine and engine state as they stand.
+    pub fn snapshot(&self, engine: &EngineState) -> Snapshot {
+        Snapshot {
+            gpu: self.clone(),
+            engine: engine.clone(),
+        }
+    }
+
+    /// Overwrite this machine with `snap`'s state and return the engine
+    /// state to resume from. The snapshot is reusable (recovery may restore
+    /// it more than once).
+    pub fn restore(&mut self, snap: &Snapshot) -> EngineState {
+        *self = snap.gpu.clone();
+        snap.engine.clone()
+    }
+
+    /// Earliest cycle at which the machine provably cannot make progress
+    /// any more: the latest issue plus the latest event ever scheduled on
+    /// any wheel (SM writebacks, memory capacity releases). Strictly past
+    /// this cycle, every wheel is empty and no warp state can change, so a
+    /// window of silence is a proof of livelock, not a long latency.
+    /// Engine-invariant — see the accessors it reads.
+    pub(crate) fn progress_watermark(&self, st: &EngineState) -> u64 {
+        let mut wm = st.last_issue;
+        for sm in &self.sms {
+            wm = wm.max(sm.latest_writeback());
+        }
+        wm.max(self.shared.latest_release_scheduled())
+    }
+
+    /// Run from `st.cycle` until the grid completes, `stop` arrives, or —
+    /// with `watchdog: Some(w)` — a window of `w` cycles elapses past the
+    /// progress watermark (livelock; see [`Self::progress_watermark`]).
+    /// Stopping and resuming at any cycle is bit-identical to a straight
+    /// run: the boundary evaluation is a no-op (no SM is due before its
+    /// wake-up, and the throttle's lazy crediting is path-independent).
+    pub fn run_until(
+        &mut self,
+        st: &mut EngineState,
+        kinfo: &KernelInfo,
+        stop: u64,
+        watchdog: Option<u64>,
+    ) -> SpanEnd {
         let lat = self.cfg.lat;
         let n = self.sms.len();
-        // Per-SM wake-up cycle (u64::MAX: empty, nothing can ever wake it)
-        // and, for sleepers, the first slept cycle (for stats crediting)
-        // plus whether the slept span is a memory-gated stall span.
-        let mut wake_at = vec![0u64; n];
-        let mut sleep_from: Vec<Option<u64>> = vec![None; n];
-        let mut sleep_gated = vec![false; n];
-        let mut cycle = 0u64;
-        while !self.finished() && cycle < max_cycles {
+        let mut cycle = st.cycle;
+        while !self.finished() && cycle < stop {
+            if let Some(w) = watchdog {
+                st.cycle = cycle;
+                if cycle >= self.progress_watermark(st).saturating_add(w) {
+                    return SpanEnd::Stalled;
+                }
+            }
             if cycle > 0 {
                 // Window boundaries inside a fully-asleep span fire before
                 // the cycle that wakes an SM, exactly as the per-cycle loop
@@ -164,11 +284,11 @@ impl Gpu {
                 self.throttle.advance_to(cycle - 1);
             }
             for i in 0..n {
-                if wake_at[i] > cycle {
+                if st.wake_at[i] > cycle {
                     continue;
                 }
-                if let Some(since) = sleep_from[i].take() {
-                    if sleep_gated[i] {
+                if let Some(since) = st.sleep_from[i].take() {
+                    if st.sleep_gated[i] {
                         self.sms[i].credit_gated(cycle - since);
                     } else {
                         self.sms[i].credit_skipped(cycle - since);
@@ -183,7 +303,10 @@ impl Gpu {
                     &mut self.throttle,
                     &mut self.dispatcher,
                 );
-                wake_at[i] = if self.fast_forward && (out.quiescent || out.gated) {
+                if out.issued {
+                    st.last_issue = cycle;
+                }
+                st.wake_at[i] = if self.fast_forward && (out.quiescent || out.gated) {
                     if out.live {
                         let mut wake = self.sms[i].next_wake();
                         if out.gated {
@@ -208,9 +331,9 @@ impl Gpu {
                 } else {
                     cycle + 1
                 };
-                if wake_at[i] > cycle + 1 {
-                    sleep_from[i] = Some(cycle + 1);
-                    sleep_gated[i] = out.gated;
+                if st.wake_at[i] > cycle + 1 {
+                    st.sleep_from[i] = Some(cycle + 1);
+                    st.sleep_gated[i] = out.gated;
                     if out.live {
                         self.throttle.sleep_sm(i, cycle + 1);
                     }
@@ -220,17 +343,30 @@ impl Gpu {
             cycle += 1;
             if self.fast_forward {
                 // Jump to the next cycle on which anything can happen.
-                let next = wake_at.iter().copied().min().unwrap_or(cycle);
+                let next = st.wake_at.iter().copied().min().unwrap_or(cycle);
                 if next > cycle {
-                    cycle = next.min(max_cycles);
+                    cycle = next.min(stop);
                 }
             }
         }
-        // Credit sleepers interrupted by grid completion or timeout.
-        for (i, (sm, slept)) in self.sms.iter_mut().zip(&sleep_from).enumerate() {
-            if let Some(since) = slept {
-                if cycle > *since {
-                    if sleep_gated[i] {
+        st.cycle = cycle;
+        if self.finished() {
+            SpanEnd::Finished
+        } else {
+            SpanEnd::ReachedStop
+        }
+    }
+
+    /// Close out a run at `st.cycle`: credit sleepers interrupted by grid
+    /// completion, timeout or a watchdog trip, flush the event model's
+    /// occupancy integrals, and aggregate the statistics. Consumes the
+    /// engine state — a finished run cannot be resumed.
+    pub fn finish(&mut self, mut st: EngineState) -> SimStats {
+        let cycle = st.cycle;
+        for (i, (sm, slept)) in self.sms.iter_mut().zip(&mut st.sleep_from).enumerate() {
+            if let Some(since) = slept.take() {
+                if cycle > since {
+                    if st.sleep_gated[i] {
                         sm.credit_gated(cycle - since);
                     } else {
                         sm.credit_skipped(cycle - since);

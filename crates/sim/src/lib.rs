@@ -66,9 +66,13 @@ pub mod server;
 pub mod shard;
 pub mod sm;
 pub mod stats;
+pub mod supervise;
 pub mod warp;
 pub mod wheel;
 
 pub use mem::MemoryModel;
 pub use run::{RunConfig, SharingMode, Simulator};
 pub use stats::{MemStats, SimStats, SmStats};
+pub use supervise::{
+    FaultPlan, MemDiag, RecoveryEvent, RunOutcome, RunReport, SmDiag, StallDiagnosis,
+};

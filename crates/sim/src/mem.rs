@@ -211,6 +211,25 @@ impl SharedMem {
         self.event.as_ref().and_then(|ev| ev.next_release())
     }
 
+    /// In-flight occupancy `(mshr entries, dram-queue slots)` across all
+    /// partitions — `(0, 0)` under the functional model. Surfaced in the
+    /// watchdog's [`crate::supervise::StallDiagnosis`].
+    pub fn in_flight(&self) -> (u32, u32) {
+        self.event
+            .as_ref()
+            .map_or((0, 0), |ev| (ev.total_mshr, ev.total_dram))
+    }
+
+    /// Latest capacity-release cycle ever scheduled (0 if none, and always 0
+    /// under the functional model) — one input to the forward-progress
+    /// watchdog's watermark. Engine-invariant: releases are scheduled at
+    /// issue time with identical due cycles in every engine.
+    pub fn latest_release_scheduled(&self) -> u64 {
+        self.event
+            .as_ref()
+            .map_or(0, |ev| ev.releases.latest_scheduled())
+    }
+
     /// Flush the occupancy integrals through the end of the run.
     pub fn finalize(&mut self, end: u64) {
         self.advance_to(end);

@@ -11,6 +11,7 @@ use crate::gpu::Gpu;
 use crate::kinfo::KernelInfo;
 use crate::mem::MemoryModel;
 use crate::stats::SimStats;
+use crate::supervise::{FaultPlan, RunReport};
 
 /// Whether (and which) resource sharing is active for a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -100,6 +101,22 @@ pub struct RunConfig {
     /// stepping rules internally regardless of [`Self::fast_forward`] (the
     /// two are bit-identical, so this is unobservable in the statistics).
     pub shards: Option<usize>,
+    /// Snapshot the complete machine state every this many cycles (see the
+    /// `grs_sim::supervise` module docs). `None` (the default) never
+    /// checkpoints mid-run. Checkpointing is unobservable in the
+    /// statistics — resuming from any snapshot is bit-identical to the
+    /// straight run, pinned by `tests/checkpoint_resume.rs` — and is what
+    /// the sharded engine's panic recovery rolls back to.
+    pub checkpoint_every: Option<u64>,
+    /// Forward-progress watchdog window, in cycles. If the run reaches a
+    /// cycle at least this far past the last provable progress (an issued
+    /// instruction or a scheduled writeback/capacity release) while SMs are
+    /// still live, the run ends with
+    /// [`RunOutcome::Stalled`](crate::supervise::RunOutcome) and a
+    /// structured [`StallDiagnosis`](crate::supervise::StallDiagnosis)
+    /// instead of spinning to [`Self::max_cycles`]. `None` (the default)
+    /// disables the watchdog. The trip cycle is engine-invariant.
+    pub watchdog: Option<u64>,
     /// Safety bound on simulated cycles.
     pub max_cycles: u64,
 }
@@ -120,6 +137,8 @@ impl RunConfig {
             fast_forward: true,
             memory_model: MemoryModel::Functional,
             shards: None,
+            checkpoint_every: None,
+            watchdog: None,
             max_cycles: Self::DEFAULT_MAX_CYCLES,
         }
     }
@@ -215,6 +234,20 @@ impl RunConfig {
         self
     }
 
+    /// Checkpoint the machine state every `c` cycles (`None` = never; see
+    /// [`Self::checkpoint_every`]).
+    pub fn with_checkpoint_every(mut self, c: Option<u64>) -> Self {
+        self.checkpoint_every = c;
+        self
+    }
+
+    /// Set the forward-progress watchdog window (`None` = disabled; see
+    /// [`Self::watchdog`]).
+    pub fn with_watchdog(mut self, w: Option<u64>) -> Self {
+        self.watchdog = w;
+        self
+    }
+
     /// Replace the machine description.
     pub fn with_gpu(mut self, gpu: GpuConfig) -> Self {
         self.gpu = gpu;
@@ -296,7 +329,36 @@ impl Simulator {
     }
 
     /// Simulate `kernel`; returns statistics or a configuration error.
+    ///
+    /// Equivalent to [`Self::try_run_report`] with the outcome and recovery
+    /// metadata discarded.
     pub fn try_run(&self, kernel: &Kernel) -> Result<SimStats, RunError> {
+        self.try_run_report(kernel).map(|r| r.stats)
+    }
+
+    /// Simulate `kernel` under supervision; returns the full
+    /// [`RunReport`] (statistics plus outcome, recovery events and
+    /// checkpoint count) or a configuration error.
+    pub fn try_run_report(&self, kernel: &Kernel) -> Result<RunReport, RunError> {
+        self.try_run_report_with(kernel, None)
+    }
+
+    /// [`Self::try_run_report`] with a deterministic [`FaultPlan`]
+    /// injecting worker panics into the sharded engine — the test entry
+    /// point that proves the recovery path yields bit-identical statistics.
+    pub fn try_run_report_with_faults(
+        &self,
+        kernel: &Kernel,
+        faults: &FaultPlan,
+    ) -> Result<RunReport, RunError> {
+        self.try_run_report_with(kernel, Some(faults))
+    }
+
+    fn try_run_report_with(
+        &self,
+        kernel: &Kernel,
+        faults: Option<&FaultPlan>,
+    ) -> Result<RunReport, RunError> {
         grs_isa::validate(kernel).map_err(RunError::InvalidKernel)?;
         if kernel.regs_per_thread > 64 {
             return Err(RunError::TooManyRegisters {
@@ -312,7 +374,7 @@ impl Simulator {
             return Err(RunError::KernelDoesNotFit);
         }
         let kinfo = KernelInfo::new(kernel, self.cfg.sharing.resource(), self.cfg.threshold);
-        let mut gpu = Gpu::new(
+        let gpu = Gpu::new(
             &self.cfg.gpu,
             &kinfo,
             plan,
@@ -325,16 +387,18 @@ impl Simulator {
             self.cfg.fast_forward || self.cfg.shards.is_some(),
             self.cfg.memory_model,
         );
-        Ok(match self.cfg.shards {
-            Some(n) => crate::shard::run_sharded(&mut gpu, &kinfo, self.cfg.max_cycles, n),
-            None => gpu.run(&kinfo, self.cfg.max_cycles),
-        })
+        Ok(crate::supervise::supervise(&self.cfg, gpu, &kinfo, faults))
     }
 
     /// Simulate `kernel`; panics on configuration errors (convenience for
     /// examples and benches).
     pub fn run(&self, kernel: &Kernel) -> SimStats {
         self.try_run(kernel).expect("simulation failed")
+    }
+
+    /// Simulate `kernel` under supervision; panics on configuration errors.
+    pub fn run_report(&self, kernel: &Kernel) -> RunReport {
+        self.try_run_report(kernel).expect("simulation failed")
     }
 }
 

@@ -72,6 +72,30 @@
 //! sequential run for *any* shard count. `tests/shard_equivalence.rs` pins
 //! this across the scheduler × sharing-mode × memory-model matrix.
 //!
+//! ## Spans, supervision and crash safety
+//!
+//! The engine executes one **span** at a time ([`run_sharded_span`]): from
+//! the engine state's current cycle to a stop cycle, with the per-SM
+//! wake/sleep bookkeeping carried in [`crate::gpu::EngineState`] exactly as
+//! the sequential loop carries it. The supervisor
+//! ([`crate::supervise`]) chains spans to implement checkpointing, and the
+//! span boundary is unobservable: parked lanes are dropped at the boundary
+//! and re-derived on entry ([`Sm::wants_commit`] is idempotent and a parked
+//! lane's park cycle *is* its wake cycle), and each shard clone's per-SM
+//! throttle state is folded back into the master instance
+//! ([`DynThrottle::adopt_sm`]) so the next span's clones start exact.
+//!
+//! Every parallel free-run phase runs under `catch_unwind`. A panicking
+//! worker records its message, **poisons** both spin barriers (releasing
+//! every current and future waiter), and exits; the coordinator sees the
+//! poisoned hand-off and returns [`ShardSpanEnd::Faulted`] instead of
+//! hanging or crashing the process. The supervisor then rolls back to its
+//! last snapshot and replays with fewer shards. Deterministic fault
+//! injection ([`crate::supervise::FaultPlan`]) hooks the start of each
+//! parallel phase — phases are numbered by a global *epoch* counter that is
+//! identical in threaded and inline modes — so tests can prove the whole
+//! recovery path yields bit-identical statistics.
+//!
 //! ## Performance shape
 //!
 //! Wall-clock wins come from free-run spans: stretches where SMs execute
@@ -83,17 +107,42 @@
 //! progress. Synchronization uses spin barriers sized for
 //! microsecond-scale phases.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, MutexGuard};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use grs_core::{DynThrottle, LatencyConfig};
 
 use crate::dispatch::Dispatcher;
-use crate::gpu::Gpu;
+use crate::gpu::{EngineState, Gpu};
 use crate::kinfo::KernelInfo;
 use crate::mem::{MemoryModel, SharedMem};
 use crate::sm::Sm;
-use crate::stats::SimStats;
+use crate::supervise::FaultPlan;
+
+/// How long a barrier waiter spins/yields before declaring its peers dead
+/// and poisoning the barrier itself. Phases are microseconds long; this is
+/// a last-resort escape against a peer that vanished without poisoning
+/// (which the `catch_unwind` wrappers should make impossible).
+const BARRIER_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How a sharded span ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ShardSpanEnd {
+    /// The grid drained; `st.cycle` is one past the completing cycle.
+    Finished,
+    /// The stop cycle arrived first; `st.cycle == stop`.
+    ReachedStop,
+    /// The forward-progress watchdog tripped; `st.cycle` is the trip cycle
+    /// (identical to the sequential engine's).
+    Stalled,
+    /// A worker panicked (injected or genuine). The machine state is
+    /// partial; the caller must roll back to a snapshot. The payload is the
+    /// panic message.
+    Faulted(String),
+}
 
 /// One SM plus the engine bookkeeping the sequential loop keeps in arrays.
 struct Lane {
@@ -106,11 +155,13 @@ struct Lane {
     /// The pending sleep span is a memory-gated stall span.
     sleep_gated: bool,
     /// `Some(cycle)`: stopped at a shared-state interaction, awaiting its
-    /// commit step at that cycle.
+    /// commit step at that cycle. Invariant: equals `wake_at` when set (a
+    /// lane parks *before* stepping), which is what lets span boundaries
+    /// drop the park and re-derive it on resume.
     park: Option<u64>,
-    /// Last cycle this SM stepped; the run's cycle count is the global
-    /// maximum plus one.
-    last_step: u64,
+    /// Latest cycle this SM issued an instruction, for the watchdog
+    /// watermark (folded into `EngineState::last_issue` at the span end).
+    last_issue: u64,
 }
 
 impl Lane {
@@ -132,12 +183,25 @@ struct Shard {
     scrap: Dispatcher,
 }
 
-/// Sense-reversing spin barrier. Phases are microseconds long, so parking
-/// OS threads (std's `Barrier`) costs more than it saves.
+/// Lock a mutex, recovering the data from a poisoned lock. A worker panic
+/// can poison a shard's mutex, but never tear its data: panics surface at
+/// phase entry (fault injection) or inside a lane step whose containing run
+/// is rolled back to a snapshot anyway, so the recovered value is only ever
+/// used for structural teardown.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Sense-reversing spin barrier with poisoning. Phases are microseconds
+/// long, so parking OS threads (std's `Barrier`) costs more than it saves.
+/// Poisoning ([`SpinBarrier::poison`]) permanently releases every current
+/// and future waiter with a `false` return — the panic-isolation escape
+/// hatch that keeps one crashing lane from hanging its peers.
 struct SpinBarrier {
     n: usize,
     count: AtomicUsize,
     generation: AtomicUsize,
+    poisoned: AtomicBool,
 }
 
 impl SpinBarrier {
@@ -146,30 +210,112 @@ impl SpinBarrier {
             n,
             count: AtomicUsize::new(0),
             generation: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
         }
     }
 
-    fn wait(&self) {
+    /// Mark the barrier unusable and release every waiter, current and
+    /// future. Idempotent.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Release);
+        // Bump the generation so spinners drop out even if they read the
+        // poison flag a beat late; the flag check below makes this
+        // belt-and-braces rather than load-bearing.
+        self.generation.fetch_add(1, Ordering::AcqRel);
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Acquire)
+    }
+
+    /// Wait for all `n` participants. Returns `true` on a clean release,
+    /// `false` if the barrier is (or becomes) poisoned.
+    fn wait(&self) -> bool {
+        self.wait_with_timeout(BARRIER_TIMEOUT)
+    }
+
+    /// [`Self::wait`] with an explicit bound: a waiter that spins past
+    /// `timeout` poisons the barrier itself and returns `false`, so a peer
+    /// that died without poisoning cannot strand it forever.
+    fn wait_with_timeout(&self, timeout: Duration) -> bool {
+        if self.is_poisoned() {
+            return false;
+        }
         let gen = self.generation.load(Ordering::Acquire);
         if self.count.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
             self.count.store(0, Ordering::Release);
             self.generation
                 .store(gen.wrapping_add(1), Ordering::Release);
+            !self.is_poisoned()
         } else {
             let mut spins = 0u32;
+            let mut deadline: Option<Instant> = None;
             while self.generation.load(Ordering::Acquire) == gen {
+                if self.is_poisoned() {
+                    return false;
+                }
                 // Bounded spin, then yield: on an oversubscribed (or
                 // single-core) machine an unbounded spin burns the peer's
                 // whole scheduling quantum per hand-off.
                 if spins < 128 {
-                    spins += 1;
                     std::hint::spin_loop();
                 } else {
                     std::thread::yield_now();
+                    // Consult the clock only every few hundred yields; a
+                    // syscall per spin would dominate the hand-off.
+                    if spins.is_multiple_of(256) {
+                        let d = *deadline.get_or_insert_with(|| Instant::now() + timeout);
+                        if Instant::now() >= d {
+                            self.poison();
+                            return false;
+                        }
+                    }
                 }
+                spins = spins.wrapping_add(1);
             }
+            !self.is_poisoned()
         }
     }
+}
+
+/// Poisons both barriers unless disarmed — the coordinator holds one so
+/// that even a *coordinator* panic (a genuine bug, not an injected fault)
+/// releases the workers instead of deadlocking the thread scope.
+struct BarrierPoisonGuard<'a> {
+    start: &'a SpinBarrier,
+    done: &'a SpinBarrier,
+    armed: bool,
+}
+
+impl Drop for BarrierPoisonGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.start.poison();
+            self.done.poison();
+        }
+    }
+}
+
+/// Record the first panic's message (later ones are drops of the same
+/// event or cascades from it).
+fn record_panic(note: &Mutex<Option<String>>, shard: usize, payload: Box<dyn Any + Send>) {
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    let mut slot = lock_recover(note);
+    if slot.is_none() {
+        *slot = Some(format!("shard {shard} panicked: {msg}"));
+    }
+}
+
+/// Take the recorded panic message, with a fallback for the
+/// timed-out-without-a-note case.
+fn take_panic(note: &Mutex<Option<String>>) -> String {
+    lock_recover(note)
+        .take()
+        .unwrap_or_else(|| "a shard worker died without recording a panic".to_string())
 }
 
 /// Free-run one lane: step it against the shard's stub state until it
@@ -208,7 +354,9 @@ fn free_run_lane(
         }
         let out = lane.sm.step(now, kinfo, lat, stub, throttle, scrap);
         debug_assert!(!out.gated, "the stub memory system's gate is open");
-        lane.last_step = now;
+        if out.issued {
+            lane.last_issue = now;
+        }
         lane.wake_at = if out.quiescent {
             if out.live {
                 match lane.sm.next_wake() {
@@ -253,7 +401,9 @@ fn commit_lane(
         throttle.wake_sm(lane.sm.id, now);
     }
     let out = lane.sm.step(now, kinfo, lat, shared, throttle, dispatcher);
-    lane.last_step = now;
+    if out.issued {
+        lane.last_issue = now;
+    }
     lane.wake_at = if out.quiescent || out.gated {
         if out.live {
             let mut wake = lane.sm.next_wake();
@@ -317,15 +467,73 @@ fn free_run_shard(
     }
 }
 
-/// Run the grid to completion (or `max_cycles`) on `shards` worker shards.
-/// Bit-identical to [`Gpu::run`] with fast-forward on — which is itself
-/// bit-identical to the per-cycle reference loop — for any shard count.
-pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: usize) -> SimStats {
-    gpu.initial_fill(kinfo);
-    if gpu.dispatcher.remaining() == 0 && gpu.sms.iter().all(|s| s.live_blocks() == 0) {
-        // Empty grid: the sequential loop exits before its first iteration.
-        gpu.shared.finalize(0);
-        return gpu.collect(0, false);
+/// Run a free-run phase body for one shard with fault injection and panic
+/// capture. Returns `false` (after recording the panic) on unwind.
+#[allow(clippy::too_many_arguments)]
+fn guarded_free_run(
+    cell: &Mutex<Shard>,
+    shard_idx: usize,
+    epoch: u64,
+    fault: Option<&FaultPlan>,
+    note: &Mutex<Option<String>>,
+    kinfo: &KernelInfo,
+    lat: &LatencyConfig,
+    max_pending: u32,
+    horizon: u64,
+    max_cycles: u64,
+) -> bool {
+    let res = catch_unwind(AssertUnwindSafe(|| {
+        if let Some(plan) = fault {
+            if plan.take(epoch, shard_idx) {
+                panic!("injected fault (epoch {epoch}, shard {shard_idx})");
+            }
+        }
+        let mut shard = lock_recover(cell);
+        free_run_shard(&mut shard, kinfo, lat, max_pending, horizon, max_cycles);
+    }));
+    match res {
+        Ok(()) => true,
+        Err(payload) => {
+            record_panic(note, shard_idx, payload);
+            false
+        }
+    }
+}
+
+/// The watchdog's progress watermark over the sharded state: latest issue,
+/// latest writeback scheduled on any lane's wheel, latest capacity release
+/// scheduled — the same quantity [`Gpu::progress_watermark`] computes for
+/// the sequential engines, over the same (engine-invariant) inputs.
+fn span_watermark(guards: &[MutexGuard<Shard>], shared: &SharedMem, base_issue: u64) -> u64 {
+    let mut wm = base_issue.max(shared.latest_release_scheduled());
+    for g in guards.iter() {
+        for lane in &g.lanes {
+            wm = wm.max(lane.last_issue).max(lane.sm.latest_writeback());
+        }
+    }
+    wm
+}
+
+/// Run one sharded span: from `st.cycle` until the grid completes, `stop`
+/// arrives, the watchdog trips, or a worker faults. Bit-identical (for the
+/// non-faulted ends) to [`Gpu::run_until`] over the same span — which is
+/// itself bit-identical to the per-cycle reference loop — for any shard
+/// count. `epoch` numbers parallel free-run phases globally for
+/// deterministic fault addressing; it advances identically in threaded and
+/// inline modes.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sharded_span(
+    gpu: &mut Gpu,
+    st: &mut EngineState,
+    kinfo: &KernelInfo,
+    stop: u64,
+    shards: usize,
+    watchdog: Option<u64>,
+    fault: Option<&FaultPlan>,
+    epoch: &mut u64,
+) -> ShardSpanEnd {
+    if gpu.finished() {
+        return ShardSpanEnd::Finished;
     }
     let lat = gpu.cfg.lat;
     let mem_cfg = gpu.cfg.mem;
@@ -334,7 +542,9 @@ pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: u
     let nshards = shards.clamp(1, n.max(1));
 
     // Distribute SMs round-robin so a shard's lanes stay spread across the
-    // id space (neighbouring SMs tend to park together).
+    // id space (neighbouring SMs tend to park together). Lanes resume from
+    // the engine state verbatim; parks are re-derived at the first wake
+    // (see the `Lane::park` invariant).
     let mut cells: Vec<Mutex<Shard>> = (0..nshards)
         .map(|_| {
             Mutex::new(Shard {
@@ -345,23 +555,30 @@ pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: u
             })
         })
         .collect();
-    for (i, sm) in gpu.sms.drain(..).enumerate() {
-        cells[i % nshards].get_mut().unwrap().lanes.push(Lane {
-            sm,
-            wake_at: 0,
-            sleep_from: None,
-            sleep_gated: false,
-            park: None,
-            last_step: 0,
-        });
+    for sm in gpu.sms.drain(..) {
+        let id = sm.id;
+        cells[id % nshards]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+            .lanes
+            .push(Lane {
+                sm,
+                wake_at: st.wake_at[id],
+                sleep_from: st.sleep_from[id],
+                sleep_gated: st.sleep_gated[id],
+                park: None,
+                last_issue: st.last_issue,
+            });
     }
     let cells = &cells; // shared borrow for the worker closures
 
     let start = &SpinBarrier::new(nshards);
     let done = &SpinBarrier::new(nshards);
-    let stop = &AtomicBool::new(false);
+    let stop_flag = &AtomicBool::new(false);
     let horizon_cell = &AtomicU64::new(0);
-    let bound_cell = &AtomicU64::new(max_cycles);
+    let bound_cell = &AtomicU64::new(stop);
+    let epoch_cell = &AtomicU64::new(*epoch);
+    let panic_note = &Mutex::new(None::<String>);
     let lat_ref = &lat;
 
     // Worker threads only pay off when the OS can actually run them
@@ -378,27 +595,55 @@ pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: u
             _ => std::thread::available_parallelism().map_or(1, |p| p.get()) > 1,
         };
 
-    // Exclusive cycle bound. Starts at `max_cycles` and clamps to one past
-    // the grid-completing cycle once the finishing commit lands: the
-    // sequential loop's `finished()` gate still runs every SM whose wake-up
-    // falls on the completing cycle, but nothing after it.
-    let mut bound = max_cycles;
+    // Exclusive cycle bound. Starts at `stop` and clamps to one past the
+    // grid-completing cycle once the finishing commit lands (the sequential
+    // loop's `finished()` gate still runs every SM whose wake-up falls on
+    // the completing cycle, but nothing after it), or to the watchdog's
+    // trip cycle.
+    let mut bound = stop;
     let mut finished_at: Option<u64> = None;
+    let mut stalled = false;
+    let mut aborted: Option<String> = None;
 
     std::thread::scope(|scope| {
+        // If the coordinator itself unwinds, release the workers on the way
+        // out so the scope can join them (their panics are already caught).
+        let mut poison_guard = BarrierPoisonGuard {
+            start,
+            done,
+            armed: true,
+        };
         let spawned = if threaded { nshards } else { 1 };
-        for cell in cells.iter().take(spawned).skip(1) {
+        for (widx, cell) in cells.iter().enumerate().take(spawned).skip(1) {
             scope.spawn(move || loop {
-                start.wait();
-                if stop.load(Ordering::Acquire) {
+                if !start.wait() {
+                    break;
+                }
+                if stop_flag.load(Ordering::Acquire) {
                     break;
                 }
                 let horizon = horizon_cell.load(Ordering::Acquire);
                 let bound = bound_cell.load(Ordering::Acquire);
-                let mut shard = cell.lock().unwrap();
-                free_run_shard(&mut shard, kinfo, lat_ref, max_pending, horizon, bound);
-                drop(shard);
-                done.wait();
+                let ep = epoch_cell.load(Ordering::Acquire);
+                if !guarded_free_run(
+                    cell,
+                    widx,
+                    ep,
+                    fault,
+                    panic_note,
+                    kinfo,
+                    lat_ref,
+                    max_pending,
+                    horizon,
+                    bound,
+                ) {
+                    start.poison();
+                    done.poison();
+                    break;
+                }
+                if !done.wait() {
+                    break;
+                }
             });
         }
 
@@ -408,8 +653,8 @@ pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: u
         // windows and owns the authoritative probabilities/deadline.
         let mut deadline = gpu.throttle.next_deadline();
         'run: loop {
-            let mut guards: Vec<MutexGuard<Shard>> =
-                cells.iter().map(|c| c.lock().unwrap()).collect();
+            let mut guards: Vec<MutexGuard<Shard>> = cells.iter().map(lock_recover).collect();
+            let phase_bound;
             loop {
                 // Minimum (cycle, SM id) over every lane's next event, and
                 // the number of unparked lanes that could free-run now.
@@ -434,7 +679,21 @@ pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: u
                     break 'run; // every lane retired: the grid drained
                 };
                 if b >= bound {
-                    break 'run; // timeout or grid completion: nothing left in bounds
+                    break 'run; // stop cycle or grid completion: nothing left in bounds
+                }
+                if let Some(w) = watchdog {
+                    // Identical trip rule to the sequential engines: the
+                    // next evaluated cycle has left a full window of
+                    // provable silence behind it. All keys are ≤ the trip
+                    // cycle (no event can be scheduled past the watermark),
+                    // so the span ends exactly at `watermark + w`.
+                    let trip =
+                        span_watermark(&guards, &gpu.shared, st.last_issue).saturating_add(w);
+                    if b >= trip {
+                        stalled = true;
+                        bound = trip;
+                        break 'run;
+                    }
                 }
                 if b > deadline {
                     // Every step at cycles ≤ deadline has happened (the
@@ -480,6 +739,14 @@ pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: u
                     }
                     continue;
                 }
+                // Free-run phases must not outrun a pending watchdog trip:
+                // a livelocked lane never parks and would otherwise burn
+                // real time all the way to `bound`.
+                let run_bound = match watchdog {
+                    Some(w) => bound
+                        .min(span_watermark(&guards, &gpu.shared, st.last_issue).saturating_add(w)),
+                    None => bound,
+                };
                 if runnable == 1 {
                     // A lone lane between commits: running it inline beats a
                     // barrier round-trip through idle workers.
@@ -493,73 +760,169 @@ pub fn run_sharded(gpu: &mut Gpu, kinfo: &KernelInfo, max_cycles: u64, shards: u
                         &lat,
                         max_pending,
                         deadline,
-                        bound,
+                        run_bound,
                     );
                     continue;
                 }
+                phase_bound = run_bound;
                 break; // ≥2 lanes can progress independently: go parallel
             }
             drop(guards);
 
+            let ep = *epoch;
+            *epoch += 1;
             if threaded {
                 horizon_cell.store(deadline, Ordering::Release);
-                bound_cell.store(bound, Ordering::Release);
-                start.wait();
-                {
-                    let mut shard = cells[0].lock().unwrap();
-                    free_run_shard(&mut shard, kinfo, &lat, max_pending, deadline, bound);
+                bound_cell.store(phase_bound, Ordering::Release);
+                epoch_cell.store(ep, Ordering::Release);
+                if !start.wait() {
+                    aborted = Some(take_panic(panic_note));
+                    break 'run;
                 }
-                done.wait();
+                let own_ok = guarded_free_run(
+                    &cells[0],
+                    0,
+                    ep,
+                    fault,
+                    panic_note,
+                    kinfo,
+                    &lat,
+                    max_pending,
+                    deadline,
+                    phase_bound,
+                );
+                if !own_ok {
+                    start.poison();
+                    done.poison();
+                    aborted = Some(take_panic(panic_note));
+                    break 'run;
+                }
+                if !done.wait() {
+                    aborted = Some(take_panic(panic_note));
+                    break 'run;
+                }
             } else {
-                for cell in cells.iter() {
-                    let mut shard = cell.lock().unwrap();
-                    free_run_shard(&mut shard, kinfo, &lat, max_pending, deadline, bound);
+                for (idx, cell) in cells.iter().enumerate() {
+                    if !guarded_free_run(
+                        cell,
+                        idx,
+                        ep,
+                        fault,
+                        panic_note,
+                        kinfo,
+                        &lat,
+                        max_pending,
+                        deadline,
+                        phase_bound,
+                    ) {
+                        aborted = Some(take_panic(panic_note));
+                        break 'run;
+                    }
                 }
             }
         }
         if threaded {
-            stop.store(true, Ordering::Release);
+            stop_flag.store(true, Ordering::Release);
             start.wait(); // release the workers into their exit path
         }
+        poison_guard.armed = false;
     });
 
-    // Tear down: reassemble the SM array in id order, credit interrupted
-    // sleepers, and aggregate — the same epilogue as the sequential loop.
+    // Tear down: reassemble the SM array in id order and write the engine
+    // state back. Crediting interrupted sleepers and finalizing the
+    // occupancy integrals is `Gpu::finish`'s job — a span boundary is not
+    // the end of the run. On a fault the state is partial but structurally
+    // valid; the caller rolls back to a snapshot.
+    let faulted = aborted.is_some();
     let mut lanes: Vec<Lane> = cells
         .iter()
         .flat_map(|c| {
-            let shard = &mut *c.lock().unwrap();
-            debug_assert_eq!(
-                shard.stub.stats,
-                Default::default(),
+            let shard = &mut *lock_recover(c);
+            debug_assert!(
+                faulted || shard.stub.stats == Default::default(),
                 "free-run must never touch (even stub) global memory"
             );
             std::mem::take(&mut shard.lanes)
         })
         .collect();
     lanes.sort_by_key(|l| l.sm.id);
-    // The sequential loop's exit cycle: one past the grid-completing
-    // iteration (the completing SM's exit issue keeps its wake-up at the
-    // next cycle, so the fast-forward jump never overshoots it), or the
-    // bound on a timeout.
-    let finished = finished_at.is_some();
-    let final_cycle = finished_at.map_or(max_cycles, |c| c + 1);
-    debug_assert_eq!(
-        finished,
-        gpu.dispatcher.remaining() == 0 && lanes.iter().all(|l| l.sm.live_blocks() == 0)
-    );
-    for lane in &mut lanes {
-        if let Some(since) = lane.sleep_from.take() {
-            if final_cycle > since {
-                if lane.sleep_gated {
-                    lane.sm.credit_gated(final_cycle - since);
-                } else {
-                    lane.sm.credit_skipped(final_cycle - since);
-                }
-            }
+    if !faulted {
+        // Fold each clone's per-SM throttle bookkeeping back into the
+        // master so the next span's clones (or a checkpoint) start exact.
+        let shard_throttles: Vec<DynThrottle> = cells
+            .iter()
+            .map(|c| lock_recover(c).throttle.clone())
+            .collect();
+        for id in 0..n {
+            gpu.throttle.adopt_sm(id, &shard_throttles[id % nshards]);
+        }
+        for (id, lane) in lanes.iter().enumerate() {
+            debug_assert_eq!(lane.sm.id, id);
+            st.wake_at[id] = lane.wake_at;
+            st.sleep_from[id] = lane.sleep_from;
+            st.sleep_gated[id] = lane.sleep_gated;
+            st.last_issue = st.last_issue.max(lane.last_issue);
         }
     }
-    gpu.shared.finalize(final_cycle);
     gpu.sms.extend(lanes.into_iter().map(|l| l.sm));
-    gpu.collect(final_cycle, !finished)
+    if let Some(reason) = aborted {
+        return ShardSpanEnd::Faulted(reason);
+    }
+    if let Some(c) = finished_at {
+        debug_assert!(gpu.finished());
+        // One past the grid-completing iteration (the completing SM's exit
+        // issue keeps its wake-up at the next cycle, so nothing overshoots
+        // it) — the sequential loop's exact exit cycle.
+        st.cycle = c + 1;
+        ShardSpanEnd::Finished
+    } else if stalled {
+        st.cycle = bound; // the trip cycle: watermark + window
+        ShardSpanEnd::Stalled
+    } else {
+        debug_assert!(!gpu.finished());
+        st.cycle = stop;
+        ShardSpanEnd::ReachedStop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoning_releases_a_spinning_waiter() {
+        let barrier = SpinBarrier::new(2);
+        std::thread::scope(|scope| {
+            let waiter = scope.spawn(|| barrier.wait());
+            // Give the waiter a moment to actually start spinning, then
+            // poison instead of arriving.
+            std::thread::sleep(Duration::from_millis(10));
+            barrier.poison();
+            assert!(!waiter.join().expect("waiter thread exits cleanly"));
+        });
+        // Future waiters bounce immediately.
+        assert!(!barrier.wait());
+    }
+
+    #[test]
+    fn a_timed_out_waiter_poisons_the_barrier_itself() {
+        let barrier = SpinBarrier::new(2);
+        let released = barrier.wait_with_timeout(Duration::from_millis(20));
+        assert!(!released, "no peer ever arrives");
+        assert!(barrier.is_poisoned());
+        assert!(!barrier.wait(), "poisoned stays poisoned");
+    }
+
+    #[test]
+    fn a_full_complement_releases_cleanly() {
+        let barrier = SpinBarrier::new(3);
+        std::thread::scope(|scope| {
+            let a = scope.spawn(|| barrier.wait());
+            let b = scope.spawn(|| barrier.wait());
+            assert!(barrier.wait());
+            assert!(a.join().unwrap());
+            assert!(b.join().unwrap());
+        });
+        assert!(!barrier.is_poisoned());
+    }
 }

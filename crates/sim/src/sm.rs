@@ -173,10 +173,15 @@ pub struct StepOutcome {
     /// cycles, credited by [`Sm::credit_gated`]. Mutually exclusive with
     /// `quiescent`.
     pub gated: bool,
+    /// Did the SM issue at least one instruction this cycle? The
+    /// forward-progress watchdog treats issues as progress even when they
+    /// schedule no wheel event (barriers, branches, scratchpad stores,
+    /// exits), so this feeds its watermark directly.
+    pub issued: bool,
 }
 
 /// One streaming multiprocessor.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Sm {
     /// SM index (SM0 is the throttle reference).
     pub id: usize,
@@ -285,6 +290,20 @@ impl Sm {
     /// only future event that can change a quiescent SM's state.
     pub fn next_wake(&self) -> Option<u64> {
         self.writebacks.next_due()
+    }
+
+    /// Latest completion cycle ever scheduled on this SM's writeback wheel
+    /// (0 if none yet) — one input to the forward-progress watchdog's
+    /// watermark. Engine-invariant: every engine pushes the same writebacks
+    /// at the same due cycles.
+    pub fn latest_writeback(&self) -> u64 {
+        self.writebacks.latest_scheduled()
+    }
+
+    /// Gate-blocked warp counts `(mshr, dram)` from the latest readiness
+    /// scan — surfaced in the watchdog's [`crate::supervise::StallDiagnosis`].
+    pub fn gate_block_counts(&self) -> (u32, u32) {
+        self.last_gate_blocks
     }
 
     /// Credit `span` skipped cycles with exactly the accounting the per-cycle
@@ -464,6 +483,7 @@ impl Sm {
             live: scan.any_live,
             quiescent: sleepable && !scan.any_gated(),
             gated: sleepable && scan.any_gated(),
+            issued: issued > 0,
         }
     }
 

@@ -47,6 +47,12 @@ pub struct TimingWheel<T> {
     /// Every event at a cycle `<= drained_to` has been handed out.
     drained_to: u64,
     len: usize,
+    /// Latest due cycle ever scheduled (0 before the first push). Never
+    /// reset by drains: it is a monotone progress watermark, not a queue
+    /// property. The forward-progress watchdog reads it to prove "no event
+    /// is scheduled past this cycle", and it is engine-invariant because
+    /// every engine pushes the same events with the same clamped due cycles.
+    latest: u64,
 }
 
 impl<T: Copy> Default for TimingWheel<T> {
@@ -66,6 +72,7 @@ impl<T: Copy> TimingWheel<T> {
             earliest: u64::MAX,
             drained_to: 0,
             len: 0,
+            latest: 0,
         }
     }
 
@@ -90,12 +97,21 @@ impl<T: Copy> TimingWheel<T> {
         }
     }
 
+    /// Latest due cycle ever scheduled on this wheel (0 if nothing was ever
+    /// pushed). Monotone non-decreasing across the wheel's lifetime — see
+    /// the field note on `latest`.
+    #[inline]
+    pub fn latest_scheduled(&self) -> u64 {
+        self.latest
+    }
+
     /// Schedule `payload` at cycle `at`. An event at an already-drained cycle
     /// is deferred to the next drain (matching a heap that would pop it on
     /// the following peek).
     pub fn push(&mut self, at: u64, payload: T) {
         let due = at.max(self.drained_to + 1);
         self.len += 1;
+        self.latest = self.latest.max(due);
         self.earliest = self.earliest.min(due);
         if due > self.drained_to + SLOTS as u64 {
             self.overflow_min = self.overflow_min.min(due);
@@ -304,6 +320,21 @@ mod tests {
         let got = drain(&mut w, 40);
         assert_eq!(got.len(), 8);
         assert!(got.iter().enumerate().all(|(i, ev)| ev.1 == i as u32));
+    }
+
+    #[test]
+    fn latest_scheduled_is_a_monotone_push_watermark() {
+        let mut w = TimingWheel::new();
+        assert_eq!(w.latest_scheduled(), 0);
+        w.push(40, 1u32);
+        w.push(10, 2);
+        assert_eq!(w.latest_scheduled(), 40);
+        // Draining never rewinds the watermark.
+        assert_eq!(drain(&mut w, 50).len(), 2);
+        assert_eq!(w.latest_scheduled(), 40);
+        // A stale push records its clamped (deferred) due cycle.
+        w.push(5, 3);
+        assert_eq!(w.latest_scheduled(), 51);
     }
 
     #[test]

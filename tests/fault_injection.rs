@@ -1,0 +1,152 @@
+//! The panic-recovery contract: a sharded worker that dies mid-span (here:
+//! deterministically injected panics, `FaultPlan`) never corrupts or aborts
+//! the run — the supervisor rolls back to its last snapshot, degrades the
+//! shard count down the ladder `n → n/2 → … → 1 → sequential`, replays, and
+//! the recovered statistics are **bit-identical** to an undisturbed run.
+//! Exercised in both worker-thread and inline free-run modes.
+
+use gpu_resource_sharing::core::SchedulerKind;
+use gpu_resource_sharing::prelude::*;
+use gpu_resource_sharing::sim::{FaultPlan, MemoryModel, RunOutcome};
+
+fn kernel() -> gpu_resource_sharing::isa::Kernel {
+    let mut conv1 = workloads::set2::conv1();
+    conv1.grid_blocks = 28;
+    conv1
+}
+
+fn config() -> RunConfig {
+    let mut cfg = RunConfig::paper_register_sharing()
+        .with_scheduler(SchedulerKind::Owf)
+        .with_memory_model(MemoryModel::Event);
+    cfg.gpu.num_sms = 4;
+    cfg
+}
+
+#[test]
+fn an_injected_worker_panic_recovers_bit_identically() {
+    let k = kernel();
+    let cfg = config().with_shards(Some(2));
+    let undisturbed = Simulator::new(cfg.clone()).run_report(&k);
+    assert!(undisturbed.completed());
+    assert!(undisturbed.recoveries.is_empty());
+
+    // Kill shard 1's very first parallel free-run phase.
+    let plan = FaultPlan::at(&[(0, 1)]);
+    let report = Simulator::new(cfg)
+        .try_run_report_with_faults(&k, &plan)
+        .expect("valid kernel");
+    assert_eq!(plan.fired(), 1, "the fault must actually fire");
+    assert_eq!(report.recoveries.len(), 1);
+    let hop = &report.recoveries[0];
+    assert_eq!(hop.from_shards, 2);
+    assert_eq!(hop.to_shards, Some(1));
+    assert!(
+        hop.reason.contains("injected fault"),
+        "unexpected reason: {}",
+        hop.reason
+    );
+    assert_eq!(report.outcome, RunOutcome::Completed);
+    assert_eq!(
+        report.stats, undisturbed.stats,
+        "recovery must be bit-identical"
+    );
+}
+
+#[test]
+fn repeated_faults_walk_the_ladder_to_sequential() {
+    let k = kernel();
+    let cfg = config().with_shards(Some(2));
+    let undisturbed = Simulator::new(cfg.clone()).run(&k);
+
+    // Epochs are globally monotone across rollbacks, so the second fault
+    // lands in the first phase of the degraded (1-shard) replay.
+    let plan = FaultPlan::at(&[(0, 0), (1, 0)]);
+    let report = Simulator::new(cfg)
+        .try_run_report_with_faults(&k, &plan)
+        .expect("valid kernel");
+    assert_eq!(plan.fired(), 2);
+    assert_eq!(report.recoveries.len(), 2);
+    assert_eq!(report.recoveries[0].from_shards, 2);
+    assert_eq!(report.recoveries[0].to_shards, Some(1));
+    assert_eq!(report.recoveries[1].from_shards, 1);
+    assert_eq!(
+        report.recoveries[1].to_shards, None,
+        "one shard degrades to the sequential engine"
+    );
+    assert!(report.completed());
+    assert_eq!(report.stats, undisturbed);
+}
+
+#[test]
+fn recovery_rolls_back_to_the_latest_checkpoint() {
+    // With checkpointing on, a late fault must roll back to a mid-run
+    // snapshot — not to cycle 0 — and still finish bit-identically.
+    let k = kernel();
+    let cfg = config()
+        .with_shards(Some(4))
+        .with_checkpoint_every(Some(500));
+    let undisturbed = Simulator::new(cfg.clone()).run_report(&k);
+    assert!(undisturbed.checkpoints > 0, "the run must cross a boundary");
+
+    // A mid-run epoch: by epoch 40 several checkpoints have been written.
+    let plan = FaultPlan::at(&[(40, 2)]);
+    let report = Simulator::new(cfg)
+        .try_run_report_with_faults(&k, &plan)
+        .expect("valid kernel");
+    assert_eq!(plan.fired(), 1);
+    assert_eq!(report.recoveries.len(), 1);
+    assert!(
+        report.recoveries[0].at_cycle > 0,
+        "rolled back to cycle 0 despite checkpoints"
+    );
+    assert_eq!(report.recoveries[0].from_shards, 4);
+    assert_eq!(report.recoveries[0].to_shards, Some(2));
+    assert_eq!(report.stats, undisturbed.stats);
+}
+
+#[test]
+fn recovery_is_identical_in_threaded_and_inline_modes() {
+    // Fault epochs are numbered identically whether phases run on worker
+    // threads or inline on the coordinator, so the whole recovery path —
+    // events and statistics — must not depend on the mode. The env var is
+    // process-global, but every value produces identical results, so
+    // concurrent tests are unaffected.
+    let k = kernel();
+    let cfg = config().with_shards(Some(2));
+    let undisturbed = Simulator::new(cfg.clone()).run(&k);
+    for mode in ["always", "never"] {
+        std::env::set_var("GRS_SHARD_THREADS", mode);
+        let plan = FaultPlan::at(&[(0, 1)]);
+        let report = Simulator::new(cfg.clone())
+            .try_run_report_with_faults(&k, &plan)
+            .expect("valid kernel");
+        std::env::remove_var("GRS_SHARD_THREADS");
+        assert_eq!(plan.fired(), 1, "GRS_SHARD_THREADS={mode}");
+        assert_eq!(report.recoveries.len(), 1, "GRS_SHARD_THREADS={mode}");
+        assert_eq!(report.stats, undisturbed, "GRS_SHARD_THREADS={mode}");
+    }
+}
+
+#[test]
+fn seeded_fault_plans_recover_deterministically() {
+    // A seeded barrage of faults must (a) be survivable, (b) end
+    // bit-identical to the undisturbed run, and (c) produce the exact same
+    // recovery trace when replayed with the same seed.
+    let k = kernel();
+    let cfg = config()
+        .with_shards(Some(4))
+        .with_checkpoint_every(Some(1_000));
+    let undisturbed = Simulator::new(cfg.clone()).run(&k);
+    let mut traces = Vec::new();
+    for _ in 0..2 {
+        let plan = FaultPlan::seeded(0xF00D, 6, 30, 4);
+        let report = Simulator::new(cfg.clone())
+            .try_run_report_with_faults(&k, &plan)
+            .expect("valid kernel");
+        assert!(report.completed());
+        assert_eq!(report.stats, undisturbed);
+        traces.push(report.recoveries);
+    }
+    assert_eq!(traces[0], traces[1], "recovery trace must be deterministic");
+}
