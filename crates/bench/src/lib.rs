@@ -8,5 +8,6 @@
 pub mod experiments;
 pub mod perf;
 pub mod runner;
+pub mod trace;
 
 pub use runner::{run_all, run_all_report, Job, JobResult};

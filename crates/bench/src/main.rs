@@ -16,9 +16,14 @@
 //!   table5   Table V/VI  IPC and blocks vs %register sharing
 //!   table7   Table VII/VIII IPC and blocks vs %scratchpad sharing
 //!   perf     simulator-engine throughput (fast-forward vs reference, the
-//!            sharded epoch engine at several shard counts, and the
-//!            supervision layer's overhead); writes BENCH_pr2.json,
-//!            BENCH_pr6.json and BENCH_pr7.json (not paper artifacts)
+//!            sharded epoch engine at several shard counts, the supervision
+//!            layer's overhead, and the telemetry subsystem's overhead);
+//!            writes BENCH_pr2.json, BENCH_pr6.json, BENCH_pr7.json and
+//!            BENCH_pr8.json (not paper artifacts)
+//!   trace    run one scenario with cycle-level telemetry and export a
+//!            Perfetto-loadable Chrome trace (and optionally a metrics
+//!            CSV): repro trace [conv1-28|hotspot-28] [--out=trace.json]
+//!            [--metrics=metrics.csv]
 //!   perf-gate  scheduled perf-regression gate: measure the primary
 //!            fast-forward speedup and exit nonzero below the floor
 //!            (default 5x, override with --min-speedup=<x>)
@@ -27,7 +32,7 @@
 //!
 //! `--quick` divides grid sizes by 4 for fast smoke runs.
 
-use grs_bench::{experiments, perf};
+use grs_bench::{experiments, perf, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -55,6 +60,25 @@ fn main() {
             perf::write_report(reps).expect("writing BENCH_pr2.json failed");
             perf::write_shard_report(reps).expect("writing BENCH_pr6.json failed");
             perf::write_supervision_report(reps).expect("writing BENCH_pr7.json failed");
+            perf::write_telemetry_report(reps).expect("writing BENCH_pr8.json failed");
+        }
+        "trace" => {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            let scenario = args
+                .iter()
+                .filter(|a| !a.starts_with("--") && *a != "trace")
+                .map(String::as_str)
+                .next()
+                .unwrap_or("conv1-28");
+            let out = args
+                .iter()
+                .find_map(|a| a.strip_prefix("--out="))
+                .unwrap_or("trace.json");
+            let metrics = args.iter().find_map(|a| a.strip_prefix("--metrics="));
+            if let Err(msg) = trace::run_trace(scenario, out, metrics, quick) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
         }
         "perf-gate" => {
             let floor = std::env::args()

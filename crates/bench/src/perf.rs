@@ -32,7 +32,7 @@
 use std::time::Instant;
 
 use grs_isa::Kernel;
-use grs_sim::{FaultPlan, MemoryModel, RunConfig, Simulator};
+use grs_sim::{FaultPlan, MemoryModel, RunConfig, Simulator, TelemetryConfig};
 
 /// One timed engine comparison.
 #[derive(Debug, Clone)]
@@ -510,6 +510,169 @@ pub fn write_supervision_report(reps: u32) -> std::io::Result<()> {
     }
     std::fs::write("BENCH_pr7.json", render_supervision_report(&ms))?;
     println!("wrote BENCH_pr7.json");
+    Ok(())
+}
+
+/// One timed telemetry-overhead comparison: the same run with tracing off
+/// and on, statistics asserted bit-identical (telemetry's whole contract
+/// is that it only observes).
+#[derive(Debug, Clone)]
+pub struct TelemetryMeasurement {
+    /// Scenario label.
+    pub name: String,
+    /// Simulated cycles per run (identical in both modes by construction).
+    pub cycles: u64,
+    /// Best-of-reps wall seconds, telemetry off.
+    pub plain_s: f64,
+    /// Best-of-reps wall seconds, telemetry on.
+    pub traced_s: f64,
+    /// Events appended across all tracks per traced run.
+    pub events_appended: u64,
+    /// Events retained (appended minus ring-overflow drops).
+    pub events_kept: u64,
+    /// Sampled timeline rows (SM + memory) per traced run.
+    pub sample_rows: u64,
+}
+
+impl TelemetryMeasurement {
+    /// Wall-clock cost of tracing: traced over plain (≥ ~1.0).
+    pub fn overhead(&self) -> f64 {
+        self.traced_s / self.plain_s
+    }
+}
+
+/// Telemetry-overhead ceiling `repro perf` asserts: tracing with periodic
+/// sampling must cost at most 25% wall clock on the primary scenario.
+pub const TELEMETRY_OVERHEAD_CEILING: f64 = 1.25;
+
+/// Time `kernel` under `cfg` with telemetry off and on (64Ki-event rings,
+/// sampling every 1000 cycles). Panics if tracing perturbs the statistics.
+pub fn measure_telemetry(
+    name: &str,
+    kernel: &Kernel,
+    cfg: &RunConfig,
+    reps: u32,
+) -> TelemetryMeasurement {
+    let plain_sim = Simulator::new(cfg.clone());
+    let traced_sim = Simulator::new(
+        cfg.clone()
+            .with_telemetry(Some(TelemetryConfig::default().with_sample_every(1000))),
+    );
+    // Time `run_report` on both sides so the ratio isolates *telemetry*:
+    // the report path itself (supervision bookkeeping, report assembly)
+    // costs a few percent over `run`, and that cost exists with tracing
+    // off too, so it must not be charged to the telemetry subsystem.
+    let mut plain_s = f64::MAX;
+    let mut baseline = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        baseline = Some(plain_sim.run_report(kernel).stats);
+        plain_s = plain_s.min(t.elapsed().as_secs_f64());
+    }
+    let baseline = baseline.expect("reps >= 1");
+    let mut traced_s = f64::MAX;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let report = traced_sim.run_report(kernel);
+        traced_s = traced_s.min(t.elapsed().as_secs_f64());
+        assert_eq!(
+            report.stats, baseline,
+            "telemetry changed the statistics in scenario {name}"
+        );
+        last = report.telemetry;
+    }
+    let telemetry = last.expect("telemetry was configured");
+    TelemetryMeasurement {
+        name: name.to_string(),
+        cycles: baseline.cycles,
+        plain_s,
+        traced_s,
+        events_appended: telemetry.appended(),
+        events_kept: telemetry.events.len() as u64,
+        sample_rows: (telemetry.sm_samples.len() + telemetry.mem_samples.len()) as u64,
+    }
+}
+
+/// Run the telemetry-overhead suite: the primary dead-wait scenario under
+/// both memory models (the event model adds the MEM track and its events).
+pub fn run_telemetry_suite(reps: u32) -> Vec<TelemetryMeasurement> {
+    // Each rep is a handful of milliseconds, so a min-of filter needs more
+    // draws than the wall-clock-bound engine suites to converge: floor the
+    // rep count even in --quick mode (the extra runs cost well under a
+    // second), and run a 4× grid so per-run fixed costs and timer noise
+    // amortize — the overhead *ratio* is grid-invariant (events accrue per
+    // cycle), but the variance of a 2 ms measurement is not acceptable for
+    // a CI-asserted ceiling.
+    let reps = reps.max(10);
+    let mut kernel = scenario_kernel();
+    kernel.grid_blocks *= 4;
+    vec![
+        measure_telemetry("conv1-112/dram1600", &kernel, &scenario_config(), reps),
+        measure_telemetry(
+            "conv1-112/dram1600/event",
+            &kernel,
+            &scenario_config_event(),
+            reps,
+        ),
+    ]
+}
+
+/// Serialize telemetry measurements as the `BENCH_pr8.json` document
+/// (hand-rolled JSON; the offline serde shim has no serializer).
+/// `stats_identical` is asserted, not sampled — the report only exists if
+/// every traced run matched its plain twin bit for bit.
+pub fn render_telemetry_report(ms: &[TelemetryMeasurement]) -> String {
+    let mut s = format!(
+        "{{\n  \"bench\": \"perf_telemetry\",\n  \"primary\": \"conv1-112/dram1600/event\",\n  \"stats_identical\": true,\n  \"overhead_ceiling\": {TELEMETRY_OVERHEAD_CEILING},\n  \"scenarios\": [\n"
+    );
+    for (i, m) in ms.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"plain_s\": {:.6}, \"traced_s\": {:.6}, \"overhead\": {:.3}, \"events_appended\": {}, \"events_kept\": {}, \"sample_rows\": {}}}{}\n",
+            m.name,
+            m.cycles,
+            m.plain_s,
+            m.traced_s,
+            m.overhead(),
+            m.events_appended,
+            m.events_kept,
+            m.sample_rows,
+            if i + 1 == ms.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Execute the telemetry suite, print a table, assert the overhead
+/// ceiling, and write `BENCH_pr8.json` into the current directory.
+pub fn write_telemetry_report(reps: u32) -> std::io::Result<()> {
+    let ms = run_telemetry_suite(reps);
+    println!(
+        "{:<24} {:>9} {:>10} {:>10} {:>9} {:>10} {:>10} {:>8}",
+        "scenario", "cycles", "plain", "traced", "overhead", "appended", "kept", "rows"
+    );
+    for m in &ms {
+        println!(
+            "{:<24} {:>9} {:>9.4}s {:>9.4}s {:>8.3}x {:>10} {:>10} {:>8}",
+            m.name,
+            m.cycles,
+            m.plain_s,
+            m.traced_s,
+            m.overhead(),
+            m.events_appended,
+            m.events_kept,
+            m.sample_rows
+        );
+        assert!(
+            m.overhead() <= TELEMETRY_OVERHEAD_CEILING,
+            "telemetry overhead {:.3}x exceeds the {TELEMETRY_OVERHEAD_CEILING}x ceiling in {}",
+            m.overhead(),
+            m.name
+        );
+    }
+    std::fs::write("BENCH_pr8.json", render_telemetry_report(&ms))?;
+    println!("wrote BENCH_pr8.json");
     Ok(())
 }
 

@@ -49,6 +49,7 @@ use crate::kinfo::KernelInfo;
 use crate::mem::{MemoryModel, SharedMem};
 use crate::sm::{Sm, SmMode};
 use crate::stats::SimStats;
+use crate::telemetry::{MemTelemetry, SmTelemetry, TelemetryConfig};
 
 /// Engine-loop state carried between [`Gpu::run_until`] spans: the per-SM
 /// wake/sleep bookkeeping plus the clock. Splitting it out of the run loop
@@ -138,6 +139,7 @@ impl Gpu {
         sharing: Option<ResourceKind>,
         fast_forward: bool,
         memory_model: MemoryModel,
+        telemetry: Option<TelemetryConfig>,
     ) -> Self {
         let units = cfg.sm.schedulers as usize;
         let register_sharing = sharing == Some(ResourceKind::Registers);
@@ -158,6 +160,7 @@ impl Gpu {
                     SmMode {
                         register_sharing,
                         incremental: fast_forward,
+                        telemetry,
                     },
                 )
             })
@@ -167,9 +170,13 @@ impl Gpu {
         } else {
             DynThrottle::disabled(cfg.num_sms as usize)
         };
+        let mut shared = SharedMem::with_model(cfg.mem, memory_model);
+        if let Some(t) = telemetry.as_ref() {
+            shared.set_telemetry(t);
+        }
         Gpu {
             sms,
-            shared: SharedMem::with_model(cfg.mem, memory_model),
+            shared,
             throttle,
             dispatcher: Dispatcher::new(kinfo.kernel.grid_blocks),
             cfg: cfg.clone(),
@@ -185,7 +192,7 @@ impl Gpu {
             for sm in &mut self.sms {
                 if sm.has_free_slot() {
                     if let Some(gid) = self.dispatcher.next_block() {
-                        sm.launch_block(gid, kinfo);
+                        sm.launch_block(gid, kinfo, 0);
                         progressed = true;
                     }
                 }
@@ -289,9 +296,9 @@ impl Gpu {
                 }
                 if let Some(since) = st.sleep_from[i].take() {
                     if st.sleep_gated[i] {
-                        self.sms[i].credit_gated(cycle - since);
+                        self.sms[i].credit_gated(since, cycle);
                     } else {
-                        self.sms[i].credit_skipped(cycle - since);
+                        self.sms[i].credit_skipped(since, cycle);
                     }
                     self.throttle.wake_sm(i, cycle);
                 }
@@ -367,9 +374,9 @@ impl Gpu {
             if let Some(since) = slept.take() {
                 if cycle > since {
                     if st.sleep_gated[i] {
-                        sm.credit_gated(cycle - since);
+                        sm.credit_gated(since, cycle);
                     } else {
-                        sm.credit_skipped(cycle - since);
+                        sm.credit_skipped(since, cycle);
                     }
                 }
             }
@@ -386,5 +393,16 @@ impl Gpu {
             self.shared.stats.clone(),
             self.sms.iter().map(|sm| &sm.stats),
         )
+    }
+
+    /// Take the SM (in id order) and memory telemetry state for end-of-run
+    /// assembly. Empty/`None` when tracing was off.
+    pub(crate) fn take_telemetry(&mut self) -> (Vec<SmTelemetry>, Option<MemTelemetry>) {
+        let sms = self
+            .sms
+            .iter_mut()
+            .filter_map(|sm| sm.take_telemetry())
+            .collect();
+        (sms, self.shared.take_telemetry())
     }
 }

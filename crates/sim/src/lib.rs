@@ -67,6 +67,7 @@ pub mod shard;
 pub mod sm;
 pub mod stats;
 pub mod supervise;
+pub mod telemetry;
 pub mod warp;
 pub mod wheel;
 
@@ -75,4 +76,8 @@ pub use run::{RunConfig, SharingMode, Simulator};
 pub use stats::{MemStats, SimStats, SmStats};
 pub use supervise::{
     FaultPlan, MemDiag, RecoveryEvent, RunOutcome, RunReport, SmDiag, StallDiagnosis,
+};
+pub use telemetry::{
+    MemSampleRow, SampleRow, StallReason, TelemetryConfig, TelemetryEvent, TelemetryReport,
+    TraceRecord, Track, TrackStats,
 };

@@ -38,6 +38,7 @@ use crate::cache::{Cache, CacheOutcome};
 use crate::kinfo::InstrMeta;
 use crate::server::ServerQueue;
 use crate::stats::MemStats;
+use crate::telemetry::{MemTelemetry, TelemetryConfig, TelemetryEvent};
 use crate::warp::Warp;
 use crate::wheel::TimingWheel;
 
@@ -235,6 +236,22 @@ impl SharedMem {
         self.advance_to(end);
     }
 
+    /// Enable telemetry recording on the event model (no-op under the
+    /// functional model, which has no observable memory-side events).
+    pub(crate) fn set_telemetry(&mut self, cfg: &TelemetryConfig) {
+        if let Some(ev) = &mut self.event {
+            ev.telemetry = Some(Box::new(MemTelemetry::new(cfg)));
+        }
+    }
+
+    /// Take the memory-side telemetry state for end-of-run assembly.
+    pub(crate) fn take_telemetry(&mut self) -> Option<MemTelemetry> {
+        self.event
+            .as_mut()
+            .and_then(|ev| ev.telemetry.take())
+            .map(|b| *b)
+    }
+
     /// Timing for one **load** transaction to `addr` from the SM owning
     /// `l1`, issued at `now`. Returns the transaction latency in cycles.
     pub fn load(&mut self, l1: &mut Cache, addr: u64, now: u64) -> u64 {
@@ -354,6 +371,9 @@ pub struct EventMem {
     total_dram: u32,
     /// Cycle the integrals are valid through.
     clock: u64,
+    /// Telemetry recording state (`None` unless tracing is on). Rides the
+    /// clone into snapshots so rollback restores the buffers.
+    telemetry: Option<Box<MemTelemetry>>,
 }
 
 impl EventMem {
@@ -399,11 +419,24 @@ impl EventMem {
             total_mshr: 0,
             total_dram: 0,
             clock: 0,
+            telemetry: None,
         }
     }
 
     /// Credit `occupancy × elapsed` for both resources up to `to`.
     fn integrate(&mut self, to: u64, stats: &mut MemStats) {
+        // Sample rows due in `(clock, to]` see the occupancy that held over
+        // that whole stretch (it only changes at release/admission cycles,
+        // which bound every integrate call). A row at cycle `b` therefore
+        // reflects the totals after every release due *before* `b` and
+        // before any due *at* `b` — a rule that depends only on the release
+        // trajectory, not on when the lazy `advance_to` calls happen, so
+        // the rows are identical across engines and shard counts.
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            while t.next_sample <= to {
+                t.emit_row(self.total_mshr, self.total_dram);
+            }
+        }
         let span = to.saturating_sub(self.clock);
         if span > 0 {
             stats.mshr_occupancy_cycles += span * u64::from(self.total_mshr);
@@ -432,10 +465,18 @@ impl EventMem {
                             .expect("release for a live MSHR entry");
                         mshr.swap_remove(i);
                         self.total_mshr -= 1;
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            // Stamped with the release's *due* cycle, so the
+                            // stream is invariant to when the lazy drain ran.
+                            t.record(due, TelemetryEvent::MshrFill { part: part.into() });
+                        }
                     }
                     Release::DramSlot { part } => {
                         self.parts[part as usize].dram_in_queue -= 1;
                         self.total_dram -= 1;
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.record(due, TelemetryEvent::DramService { part: part.into() });
+                        }
                     }
                 }
             }
@@ -522,6 +563,9 @@ impl EventMem {
                             stats.peak_dram_queue_occupancy.max(self.total_dram);
                         self.releases
                             .push(service_end, Release::DramSlot { part: part as u16 });
+                        if let Some(t) = self.telemetry.as_deref_mut() {
+                            t.record(now, TelemetryEvent::DramAdmit { part: part as u32 });
+                        }
                     }
                     l2_time + queue_dram // posted: no dram_latency
                 }
@@ -537,7 +581,11 @@ impl EventMem {
                     CacheOutcome::Miss => stats.l2_misses += 1,
                 }
                 stats.mshr_merges += 1;
-                return l2_time.max(e.fill_at + base);
+                let merged_at = l2_time.max(e.fill_at + base);
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.record(now, TelemetryEvent::MshrMerge { part: part as u32 });
+                }
+                return merged_at;
             }
         }
         match outcome {
@@ -578,6 +626,9 @@ impl EventMem {
                         stats.peak_dram_queue_occupancy.max(self.total_dram);
                     self.releases
                         .push(service_end, Release::DramSlot { part: part as u16 });
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.record(now, TelemetryEvent::DramAdmit { part: part as u32 });
+                    }
                 }
                 fill_at + base
             }

@@ -12,6 +12,7 @@ use crate::kinfo::KernelInfo;
 use crate::mem::MemoryModel;
 use crate::stats::SimStats;
 use crate::supervise::{FaultPlan, RunReport};
+use crate::telemetry::TelemetryConfig;
 
 /// Whether (and which) resource sharing is active for a run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -108,6 +109,13 @@ pub struct RunConfig {
     /// straight run, pinned by `tests/checkpoint_resume.rs` — and is what
     /// the sharded engine's panic recovery rolls back to.
     pub checkpoint_every: Option<u64>,
+    /// Cycle-level telemetry: structured event tracing and periodic metric
+    /// sampling (see the [`crate::telemetry`] module docs). `None` (the
+    /// default) records nothing and adds no per-cycle work. Tracing is
+    /// **observation-only**: [`SimStats`] are bit-identical with telemetry
+    /// on or off, pinned by `tests/telemetry.rs` across the full scheduler ×
+    /// sharing × memory-model matrix on all three engines.
+    pub telemetry: Option<TelemetryConfig>,
     /// Forward-progress watchdog window, in cycles. If the run reaches a
     /// cycle at least this far past the last provable progress (an issued
     /// instruction or a scheduled writeback/capacity release) while SMs are
@@ -138,6 +146,7 @@ impl RunConfig {
             memory_model: MemoryModel::Functional,
             shards: None,
             checkpoint_every: None,
+            telemetry: None,
             watchdog: None,
             max_cycles: Self::DEFAULT_MAX_CYCLES,
         }
@@ -238,6 +247,12 @@ impl RunConfig {
     /// [`Self::checkpoint_every`]).
     pub fn with_checkpoint_every(mut self, c: Option<u64>) -> Self {
         self.checkpoint_every = c;
+        self
+    }
+
+    /// Enable cycle-level telemetry (`None` = off; see [`Self::telemetry`]).
+    pub fn with_telemetry(mut self, t: Option<TelemetryConfig>) -> Self {
+        self.telemetry = t;
         self
     }
 
@@ -386,6 +401,7 @@ impl Simulator {
             // the incremental scan on (bit-identical either way).
             self.cfg.fast_forward || self.cfg.shards.is_some(),
             self.cfg.memory_model,
+            self.cfg.telemetry,
         );
         Ok(crate::supervise::supervise(&self.cfg, gpu, &kinfo, faults))
     }

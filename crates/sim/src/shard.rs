@@ -121,6 +121,7 @@ use crate::kinfo::KernelInfo;
 use crate::mem::{MemoryModel, SharedMem};
 use crate::sm::Sm;
 use crate::supervise::FaultPlan;
+use crate::telemetry::TelemetryEvent;
 
 /// How long a barrier waiter spins/yields before declaring its peers dead
 /// and poisoning the barrier itself. Phases are microseconds long; this is
@@ -349,7 +350,7 @@ fn free_run_lane(
             // that put them to sleep is still a candidate), so a free-run
             // wake is always a plain quiescent span.
             debug_assert!(!lane.sleep_gated);
-            lane.sm.credit_skipped(now - since);
+            lane.sm.credit_skipped(since, now);
             throttle.wake_sm(lane.sm.id, now);
         }
         let out = lane.sm.step(now, kinfo, lat, stub, throttle, scrap);
@@ -394,12 +395,15 @@ fn commit_lane(
     let now = lane.park.take().expect("commit_lane needs a parked lane");
     if let Some(since) = lane.sleep_from.take() {
         if lane.sleep_gated {
-            lane.sm.credit_gated(now - since);
+            lane.sm.credit_gated(since, now);
         } else {
-            lane.sm.credit_skipped(now - since);
+            lane.sm.credit_skipped(since, now);
         }
         throttle.wake_sm(lane.sm.id, now);
     }
+    // A park cycle is by definition a commit cycle: stamp it before the
+    // step so the epoch marker precedes the step's own events at `now`.
+    lane.sm.record_event(now, TelemetryEvent::EpochCommit);
     let out = lane.sm.step(now, kinfo, lat, shared, throttle, dispatcher);
     if out.issued {
         lane.last_issue = now;

@@ -51,6 +51,7 @@ use crate::dispatch::Dispatcher;
 use crate::kinfo::KernelInfo;
 use crate::mem::{generate_addresses, GateBlock, MemGate, SharedMem};
 use crate::stats::SmStats;
+use crate::telemetry::{SmTelemetry, StallReason, TelemetryConfig, TelemetryEvent};
 use crate::warp::{Warp, NO_REG};
 use crate::wheel::TimingWheel;
 
@@ -157,6 +158,9 @@ pub struct SmMode {
     /// Event-engine incremental scan (true) or the per-cycle reference scan
     /// (false; see [`Sm`] field docs).
     pub incremental: bool,
+    /// Telemetry recording for this SM (`None` = fully disabled; see
+    /// [`crate::telemetry`]).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 /// What one [`Sm::step`] call did, as the fast-forward engine needs it.
@@ -216,6 +220,20 @@ pub struct Sm {
     /// behaviour, so the equivalence suite genuinely diffs the incremental
     /// engine (dirty tracking, idle shortcut) against it.
     incremental: bool,
+    /// Telemetry recording state (`None` unless tracing is on). Boxed so the
+    /// disabled case costs one pointer; cloned with the SM, so snapshots,
+    /// restores and shard hand-offs carry the buffers automatically.
+    telemetry: Option<Box<SmTelemetry>>,
+    /// Current stall reason per warp slot (0 = none, 1 = scoreboard,
+    /// 2 = barrier, 3 = memory gate), maintained by [`Sm::set_reason`] so
+    /// reason changes are edge-triggered events and the counts below stay
+    /// incremental (never recomputed — that is what keeps them identical
+    /// between the per-cycle and the incremental scan).
+    slot_reason: Vec<u8>,
+    /// Live slots currently scoreboard-blocked (reason 1).
+    n_hazard: u32,
+    /// Live slots currently barrier-parked (reason 2).
+    n_barrier: u32,
     // per-cycle scratch, reused to avoid allocation
     views: Vec<WarpView>,
     addr_buf: Vec<u64>,
@@ -265,6 +283,10 @@ impl Sm {
             structural: true,
             last_gate_blocks: (0, 0),
             incremental: mode.incremental,
+            telemetry: mode.telemetry.map(|c| Box::new(SmTelemetry::new(&c))),
+            slot_reason: vec![0; slots * wpb],
+            n_hazard: 0,
+            n_barrier: 0,
             views: Vec::with_capacity(slots * wpb),
             addr_buf: Vec::with_capacity(32),
             wb_scratch: Vec::with_capacity(32),
@@ -306,36 +328,176 @@ impl Sm {
         self.last_gate_blocks
     }
 
-    /// Credit `span` skipped cycles with exactly the accounting the per-cycle
-    /// loop would have produced for a quiescent SM: idle when live warps wait
-    /// on latency, empty when no work is resident.
-    pub fn credit_skipped(&mut self, span: u64) {
+    /// Credit the skipped sleep span `[since, now)` with exactly the
+    /// accounting the per-cycle loop would have produced for a quiescent SM:
+    /// idle when live warps wait on latency, empty when no work is resident.
+    /// The per-reason breakdown is frozen for the whole span (no drain can
+    /// occur inside it, so no warp's stall reason can change), and sample
+    /// rows falling inside the span are emitted piecewise at their exact
+    /// boundaries — a row at cycle `b` sees precisely the counters the
+    /// per-cycle loop would have accumulated through cycle `b - 1`.
+    pub fn credit_skipped(&mut self, since: u64, now: u64) {
+        if now <= since {
+            return;
+        }
+        if let Some(mut t) = self.telemetry.take() {
+            t.record(
+                since,
+                TelemetryEvent::SleepSpan {
+                    until: now,
+                    gated: false,
+                },
+            );
+            let lb = self.live_blocks();
+            let lw = self.live_warp_count;
+            let mut cur = since;
+            // Strictly-inside boundaries only: a boundary at `now` is
+            // emitted by the step that follows the wake (mirroring the
+            // per-cycle loop), and a run ending at `now` never emits it.
+            while t.next_sample < now {
+                let b = t.next_sample;
+                self.credit_idle_span(b - cur);
+                t.emit_row(self.id as u32, &self.stats, lb, lw);
+                cur = b;
+            }
+            self.credit_idle_span(now - cur);
+            self.telemetry = Some(t);
+        } else {
+            self.credit_idle_span(now - since);
+        }
+    }
+
+    fn credit_idle_span(&mut self, span: u64) {
+        if span == 0 {
+            return;
+        }
         if self.live_warp_count > 0 {
             self.stats.idle_cycles += span;
+            if self.n_hazard > 0 {
+                self.stats.stall_scoreboard_cycles += span;
+            } else if self.n_barrier > 0 {
+                self.stats.stall_barrier_cycles += span;
+            } else {
+                self.stats.stall_no_ready_cycles += span;
+            }
         } else {
             self.stats.empty_cycles += span;
         }
     }
 
-    /// Credit `span` cycles slept under memory back-pressure
+    /// Credit the sleep span `[since, now)` slept under memory back-pressure
     /// ([`StepOutcome::gated`]) in closed form: each skipped cycle would have
     /// counted one pipeline-stall cycle and re-blocked the same warps (the
     /// gate can only open at a capacity release, which bounds the span), so
-    /// the per-cycle counters scale linearly with the span.
-    pub fn credit_gated(&mut self, span: u64) {
+    /// the per-cycle counters scale linearly with the span. Sample rows
+    /// inside the span are emitted piecewise like [`Sm::credit_skipped`].
+    pub fn credit_gated(&mut self, since: u64, now: u64) {
+        if now <= since {
+            return;
+        }
+        if let Some(mut t) = self.telemetry.take() {
+            t.record(
+                since,
+                TelemetryEvent::SleepSpan {
+                    until: now,
+                    gated: true,
+                },
+            );
+            let lb = self.live_blocks();
+            let lw = self.live_warp_count;
+            let mut cur = since;
+            // Strictly-inside boundaries only, as in `credit_skipped`.
+            while t.next_sample < now {
+                let b = t.next_sample;
+                self.credit_gated_span(b - cur);
+                t.emit_row(self.id as u32, &self.stats, lb, lw);
+                cur = b;
+            }
+            self.credit_gated_span(now - cur);
+            self.telemetry = Some(t);
+        } else {
+            self.credit_gated_span(now - since);
+        }
+    }
+
+    fn credit_gated_span(&mut self, span: u64) {
         self.stats.stall_cycles += span;
+        self.stats.stall_mem_gate_cycles += span;
         self.stats.mshr_full_stalls += span * u64::from(self.last_gate_blocks.0);
         self.stats.dram_queue_full_stalls += span * u64::from(self.last_gate_blocks.1);
     }
 
-    /// Launch grid block `grid_id` into the first free slot. Panics if no
-    /// slot is free (callers check [`Self::has_free_slot`]).
-    pub fn launch_block(&mut self, grid_id: u32, kinfo: &KernelInfo) {
+    /// Update `slot`'s stall reason (0 none, 1 scoreboard, 2 barrier,
+    /// 3 memory gate), keeping the incremental reason counts and recording
+    /// an edge-triggered [`TelemetryEvent::WarpStall`] on a change into a
+    /// non-ready reason. Reasons only change when the slot is re-evaluated,
+    /// and every engine re-evaluates a slot at the same cycles, so both the
+    /// counts and the event stream are engine-invariant.
+    #[inline]
+    fn set_reason(&mut self, slot: usize, reason: u8, now: u64) {
+        let old = self.slot_reason[slot];
+        if old == reason {
+            return;
+        }
+        match old {
+            1 => self.n_hazard -= 1,
+            2 => self.n_barrier -= 1,
+            _ => {}
+        }
+        match reason {
+            1 => self.n_hazard += 1,
+            2 => self.n_barrier += 1,
+            _ => {}
+        }
+        self.slot_reason[slot] = reason;
+        if reason != 0 {
+            if let Some(t) = self.telemetry.as_deref_mut() {
+                let r = match reason {
+                    1 => StallReason::Scoreboard,
+                    2 => StallReason::Barrier,
+                    _ => StallReason::MemGate,
+                };
+                t.record(
+                    now,
+                    TelemetryEvent::WarpStall {
+                        slot: slot as u32,
+                        reason: r,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Take this SM's telemetry state for end-of-run assembly.
+    pub(crate) fn take_telemetry(&mut self) -> Option<SmTelemetry> {
+        self.telemetry.take().map(|b| *b)
+    }
+
+    /// Record an engine-level event on this SM's track (used by the sharded
+    /// engine to stamp epoch commits). No-op when tracing is off.
+    pub(crate) fn record_event(&mut self, cycle: u64, event: TelemetryEvent) {
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.record(cycle, event);
+        }
+    }
+
+    /// Launch grid block `grid_id` into the first free slot at cycle `now`.
+    /// Panics if no slot is free (callers check [`Self::has_free_slot`]).
+    pub fn launch_block(&mut self, grid_id: u32, kinfo: &KernelInfo, now: u64) {
         let slot = self
             .blocks
             .iter()
             .position(|b| b.is_none())
             .expect("launch_block requires a free slot");
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.record(
+                now,
+                TelemetryEvent::BlockLaunch {
+                    grid_id,
+                    slot: slot as u32,
+                },
+            );
+        }
         let wpb = kinfo.warps_per_block;
         self.blocks[slot] = Some(Block {
             grid_id,
@@ -416,11 +578,26 @@ impl Sm {
         // and only then is the gate read — so an SM woken at `now` by a
         // release observes both its drained scoreboard and the freed
         // capacity in the same scan.
+        if let Some(mut t) = self.telemetry.take() {
+            // Sample boundaries due at or before this cycle: a row at `b`
+            // reflects the state at the start of cycle `b`, before the
+            // cycle's drains, scans and issues (the crediting paths emit
+            // in-span boundaries themselves, so at most one is due here in
+            // the per-cycle engine and none after a credited wake).
+            if t.next_sample <= now {
+                let lb = self.live_blocks();
+                let lw = self.live_warp_count;
+                while t.next_sample <= now {
+                    t.emit_row(self.id as u32, &self.stats, lb, lw);
+                }
+            }
+            self.telemetry = Some(t);
+        }
         self.drain_writebacks(now);
         shared.advance_to(now); // event model: settle capacity releases
         let max_pending = shared.cfg.max_pending_per_warp;
         let gate = shared.issue_gate();
-        let scan = self.scan_readiness(kinfo, throttle, max_pending, gate);
+        let scan = self.scan_readiness(now, kinfo, throttle, max_pending, gate);
 
         let mut issued = 0u32;
         let mut port_conflict = false;
@@ -463,9 +640,20 @@ impl Sm {
 
         if issued == 0 {
             if scan.any_stall || port_conflict || scan.any_gated() {
+                // Every pipeline-stall cycle is caused by the memory system
+                // or a structural conflict, so the breakdown attributes it
+                // to the mem-gate bucket wholesale.
                 self.stats.stall_cycles += 1;
+                self.stats.stall_mem_gate_cycles += 1;
             } else if scan.any_live {
                 self.stats.idle_cycles += 1;
+                if self.n_hazard > 0 {
+                    self.stats.stall_scoreboard_cycles += 1;
+                } else if self.n_barrier > 0 {
+                    self.stats.stall_barrier_cycles += 1;
+                } else {
+                    self.stats.stall_no_ready_cycles += 1;
+                }
             } else {
                 self.stats.empty_cycles += 1;
             }
@@ -543,6 +731,7 @@ impl Sm {
     /// always volatile, so `any_ready` only needs the re-evaluated slots.
     fn scan_readiness(
         &mut self,
+        now: u64,
         kinfo: &KernelInfo,
         throttle: &mut DynThrottle,
         max_pending: u32,
@@ -564,10 +753,11 @@ impl Sm {
                 if !live {
                     self.scan_state[slot] = SlotScan::Vacant;
                     self.view_pos[slot] = NO_VIEW;
+                    self.set_reason(slot, 0, now);
                     continue;
                 }
                 let (view, state, blocked) =
-                    self.eval_warp(slot, kinfo, throttle, max_pending, gate);
+                    self.eval_warp(slot, now, kinfo, throttle, max_pending, gate);
                 summary.note(&view, state, blocked);
                 self.scan_state[slot] = state;
                 self.view_pos[slot] = self.views.len() as u32;
@@ -579,7 +769,7 @@ impl Sm {
                     SlotScan::Vacant | SlotScan::Stable => {}
                     SlotScan::Dirty | SlotScan::Volatile | SlotScan::Gated => {
                         let (view, state, blocked) =
-                            self.eval_warp(slot, kinfo, throttle, max_pending, gate);
+                            self.eval_warp(slot, now, kinfo, throttle, max_pending, gate);
                         summary.note(&view, state, blocked);
                         self.scan_state[slot] = state;
                         self.views[self.view_pos[slot] as usize] = view;
@@ -596,6 +786,7 @@ impl Sm {
     fn eval_warp(
         &mut self,
         slot: usize,
+        now: u64,
         kinfo: &KernelInfo,
         throttle: &mut DynThrottle,
         max_pending: u32,
@@ -632,6 +823,9 @@ impl Sm {
         let mut ready = false;
         let mut blocked = Blocked::No;
         let mut state = SlotScan::Stable;
+        // Stall reason for the breakdown counters: barrier unless the
+        // !at_barrier branch refines it below.
+        let mut reason = 2u8;
         if !w.at_barrier {
             let meta = &kinfo.meta[w.pc as usize];
             let hazard = w.has_hazard(meta.op_mask);
@@ -702,17 +896,24 @@ impl Sm {
                     self.stats.throttled_issues += 1;
                 }
             }
+            // Scoreboard beats the memory gate when both hold; everything
+            // else (exit drain, lock busy-wait, throttle, ready) is "none".
+            reason = if hazard {
+                1
+            } else if mshr_full || gated {
+                3
+            } else {
+                0
+            };
         }
-        (
-            WarpView {
-                slot,
-                dynamic_id: w.dynamic_id,
-                class,
-                ready,
-            },
-            state,
-            blocked,
-        )
+        let view = WarpView {
+            slot,
+            dynamic_id: w.dynamic_id,
+            class,
+            ready,
+        };
+        self.set_reason(slot, reason, now);
+        (view, state, blocked)
     }
 
     /// Issue the next instruction of the warp in `slot`. Returns false only
@@ -912,7 +1113,7 @@ impl Sm {
                 Op::Exit => {
                     w.finished = true;
                     self.live_warp_count -= 1;
-                    self.retire_warp(slot, block_slot, warp_in_block, pairing, kinfo, dispatcher);
+                    self.retire_warp(block_slot, warp_in_block, pairing, kinfo, dispatcher, now);
                 }
             }
         }
@@ -928,12 +1129,12 @@ impl Sm {
     /// lock/owner state), so the next scan rebuilds from scratch.
     fn retire_warp(
         &mut self,
-        _slot: usize,
         block_slot: u32,
         warp_in_block: u32,
         pairing: Pairing,
         kinfo: &KernelInfo,
         dispatcher: &mut Dispatcher,
+        now: u64,
     ) {
         self.structural = true;
         if let Pairing::Paired { pair, member } = pairing {
@@ -946,7 +1147,7 @@ impl Sm {
             .expect("retiring into live block");
         block.live_warps -= 1;
         if block.live_warps == 0 {
-            self.complete_block(block_slot, pairing, kinfo, dispatcher);
+            self.complete_block(block_slot, pairing, kinfo, dispatcher, now);
         } else if block.at_barrier > 0 && block.at_barrier == block.live_warps {
             // Remaining warps were all at the barrier; the exit releases it.
             release_barrier(&mut self.warps, block_slot, kinfo.warps_per_block);
@@ -963,9 +1164,23 @@ impl Sm {
         pairing: Pairing,
         kinfo: &KernelInfo,
         dispatcher: &mut Dispatcher,
+        now: u64,
     ) {
         if let Pairing::Paired { pair, member } = pairing {
             self.pairs[pair as usize].block_completed(member);
+        }
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            let grid_id = self.blocks[block_slot as usize]
+                .as_ref()
+                .expect("completing a live block")
+                .grid_id;
+            t.record(
+                now,
+                TelemetryEvent::BlockRetire {
+                    grid_id,
+                    slot: block_slot,
+                },
+            );
         }
         self.stats.blocks_completed += 1;
         let wpb = kinfo.warps_per_block as usize;
@@ -978,7 +1193,7 @@ impl Sm {
         // Refill immediately (paper Sec. IV: the replacement enters the pair
         // as the new non-owner).
         if let Some(gid) = dispatcher.next_block() {
-            self.launch_block(gid, kinfo);
+            self.launch_block(gid, kinfo, now);
         }
     }
 }
@@ -1058,6 +1273,7 @@ mod tests {
             SmMode {
                 register_sharing: true,
                 incremental: true,
+                telemetry: None,
             },
         )
     }
@@ -1067,11 +1283,11 @@ mod tests {
         let ki = kinfo(8, 64);
         let mut s = sm(&ki, plan(3, 0));
         assert!(s.has_free_slot());
-        s.launch_block(0, &ki);
-        s.launch_block(1, &ki);
+        s.launch_block(0, &ki, 0);
+        s.launch_block(1, &ki, 0);
         assert_eq!(s.live_blocks(), 2);
         assert_eq!(s.stats.max_resident_blocks, 2);
-        s.launch_block(2, &ki);
+        s.launch_block(2, &ki, 0);
         assert!(!s.has_free_slot());
     }
 
@@ -1083,7 +1299,7 @@ mod tests {
         let mut shared = SharedMem::new(cfg.mem);
         let mut throttle = DynThrottle::disabled(1);
         let mut disp = Dispatcher::new(3);
-        s.launch_block(disp.next_block().unwrap(), &ki);
+        s.launch_block(disp.next_block().unwrap(), &ki, 0);
         let lat = cfg.lat;
         for cycle in 0..2000 {
             s.step(cycle, &ki, &lat, &mut shared, &mut throttle, &mut disp);
@@ -1114,7 +1330,7 @@ mod tests {
         let mut shared = SharedMem::new(cfg.mem);
         let mut throttle = DynThrottle::disabled(1);
         let mut disp = Dispatcher::new(1);
-        s.launch_block(disp.next_block().unwrap(), &ki);
+        s.launch_block(disp.next_block().unwrap(), &ki, 0);
         for cycle in 0..1000 {
             s.step(cycle, &ki, &cfg.lat, &mut shared, &mut throttle, &mut disp);
             if s.live_blocks() == 0 {
@@ -1143,7 +1359,7 @@ mod tests {
         let mut shared = SharedMem::new(cfg.mem);
         let mut throttle = DynThrottle::disabled(1);
         let mut disp = Dispatcher::new(1);
-        s.launch_block(disp.next_block().unwrap(), &ki);
+        s.launch_block(disp.next_block().unwrap(), &ki, 0);
         let out0 = s.step(0, &ki, &cfg.lat, &mut shared, &mut throttle, &mut disp);
         assert!(!out0.quiescent, "cycle 0 issues");
         let out1 = s.step(1, &ki, &cfg.lat, &mut shared, &mut throttle, &mut disp);

@@ -36,6 +36,23 @@ pub struct SmStats {
     /// queue (stores take no MSHR entry). Always 0 under the functional
     /// model.
     pub dram_queue_full_stalls: u64,
+    /// Idle cycles in which ≥1 live warp was blocked on a register hazard
+    /// (scoreboard). Part of the per-reason breakdown:
+    /// `stall_scoreboard_cycles + stall_barrier_cycles +
+    /// stall_no_ready_cycles == idle_cycles`, bit-identical across engines.
+    pub stall_scoreboard_cycles: u64,
+    /// Idle cycles in which no live warp was scoreboard-blocked but ≥1 was
+    /// parked at a block-wide barrier.
+    pub stall_barrier_cycles: u64,
+    /// Pipeline-stall cycles attributed to the memory system or structural
+    /// conflicts. By construction this equals [`Self::stall_cycles`]: every
+    /// zero-issue cycle classified as a pipeline stall is caused by the
+    /// MSHR/DRAM issue gate, a per-warp MSHR limit, or a port conflict.
+    pub stall_mem_gate_cycles: u64,
+    /// Remaining idle cycles: live warps existed but none was ready and
+    /// none was scoreboard- or barrier-blocked (lock busy-wait, dynamic
+    /// throttle suppression, end-of-block exit drain).
+    pub stall_no_ready_cycles: u64,
 }
 
 /// Memory-hierarchy counters.
@@ -150,6 +167,16 @@ pub struct SimStats {
     pub mshr_full_stalls: u64,
     /// Sum of per-SM store-side memory-gate stalls (event model).
     pub dram_queue_full_stalls: u64,
+    /// Sum of per-SM scoreboard-blocked idle cycles (see
+    /// [`SmStats::stall_scoreboard_cycles`]).
+    pub stall_scoreboard_cycles: u64,
+    /// Sum of per-SM barrier-blocked idle cycles.
+    pub stall_barrier_cycles: u64,
+    /// Sum of per-SM memory-gate/structural pipeline-stall cycles
+    /// (equals [`Self::stall_cycles`] by construction).
+    pub stall_mem_gate_cycles: u64,
+    /// Sum of per-SM no-ready-warp idle cycles.
+    pub stall_no_ready_cycles: u64,
     /// Memory counters.
     pub mem: MemStats,
     /// Per-SM breakdown.
@@ -217,6 +244,10 @@ impl SimStats {
             out.throttled_issues += s.throttled_issues;
             out.mshr_full_stalls += s.mshr_full_stalls;
             out.dram_queue_full_stalls += s.dram_queue_full_stalls;
+            out.stall_scoreboard_cycles += s.stall_scoreboard_cycles;
+            out.stall_barrier_cycles += s.stall_barrier_cycles;
+            out.stall_mem_gate_cycles += s.stall_mem_gate_cycles;
+            out.stall_no_ready_cycles += s.stall_no_ready_cycles;
             out.per_sm.push(s.clone());
         }
         out

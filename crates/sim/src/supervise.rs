@@ -60,6 +60,7 @@ use crate::kinfo::KernelInfo;
 use crate::run::RunConfig;
 use crate::shard::{run_sharded_span, ShardSpanEnd};
 use crate::stats::SimStats;
+use crate::telemetry::{assemble, Ring, TelemetryEvent, TelemetryReport};
 
 /// Recovery attempts after which the supervisor stops degrading gradually
 /// and forces the sequential engine outright.
@@ -195,6 +196,44 @@ pub struct StallDiagnosis {
     pub mem: MemDiag,
 }
 
+impl std::fmt::Display for StallDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "livelock proven at cycle {}: no progress since cycle {} \
+             (watchdog window {}), {} grid blocks never dispatched",
+            self.at_cycle, self.last_progress, self.window, self.blocks_undispatched
+        )?;
+        for sm in &self.sms {
+            write!(
+                f,
+                "  SM {}: {} blocks, live warps: {}, ",
+                sm.id, sm.live_blocks, sm.live_warps
+            )?;
+            match sm.next_wake {
+                Some(w) => write!(f, "next wake at {w}")?,
+                None => write!(f, "no pending wake")?,
+            }
+            writeln!(
+                f,
+                ", gate-blocked warps: {} mshr / {} dram{}",
+                sm.gate_mshr,
+                sm.gate_dram,
+                if sm.sleeping { ", sleeping" } else { "" }
+            )?;
+        }
+        write!(
+            f,
+            "  MEM: {} MSHR + {} DRAM-queue entries in flight, ",
+            self.mem.mshr_in_flight, self.mem.dram_queue_in_flight
+        )?;
+        match self.mem.next_release {
+            Some(r) => write!(f, "next release at {r}"),
+            None => write!(f, "no pending release"),
+        }
+    }
+}
+
 /// One SM's state inside a [`StallDiagnosis`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SmDiag {
@@ -240,12 +279,74 @@ pub struct RunReport {
     pub recoveries: Vec<RecoveryEvent>,
     /// Snapshots taken at `checkpoint_every` boundaries.
     pub checkpoints: u64,
+    /// Collected telemetry, when [`crate::run::RunConfig::telemetry`] was
+    /// set (`None` otherwise).
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl RunReport {
     /// Did the grid drain?
     pub fn completed(&self) -> bool {
         self.outcome == RunOutcome::Completed
+    }
+
+    /// Multi-line human-readable summary of the run: outcome, headline
+    /// statistics, the stall breakdown, and the supervision/telemetry
+    /// footprint.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let s = &self.stats;
+        let mut out = String::new();
+        match &self.outcome {
+            RunOutcome::Completed => {
+                let _ = writeln!(out, "outcome: completed in {} cycles", s.cycles);
+            }
+            RunOutcome::TimedOut => {
+                let _ = writeln!(out, "outcome: timed out after {} cycles", s.cycles);
+            }
+            RunOutcome::Stalled(d) => {
+                let _ = writeln!(out, "outcome: stalled (watchdog)\n{d}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "blocks: {} completed; instrs: {} warp / {} thread; IPC {:.3}",
+            s.blocks_completed,
+            s.warp_instrs,
+            s.thread_instrs,
+            s.ipc()
+        );
+        let _ = writeln!(
+            out,
+            "idle breakdown: {} scoreboard, {} barrier, {} no-ready (of {} idle); \
+             {} pipeline-stall cycles (mem gate)",
+            s.stall_scoreboard_cycles,
+            s.stall_barrier_cycles,
+            s.stall_no_ready_cycles,
+            s.idle_cycles,
+            s.stall_mem_gate_cycles,
+        );
+        let _ = writeln!(
+            out,
+            "supervision: {} checkpoints, {} recoveries",
+            self.checkpoints,
+            self.recoveries.len()
+        );
+        for r in &self.recoveries {
+            let to = match r.to_shards {
+                Some(n) => format!("{n} shards"),
+                None => "sequential".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "  rollback to cycle {}: {} shards -> {} ({})",
+                r.at_cycle, r.from_shards, to, r.reason
+            );
+        }
+        if let Some(t) = &self.telemetry {
+            let _ = writeln!(out, "telemetry: {}", t.summary());
+        }
+        out
     }
 }
 
@@ -316,7 +417,20 @@ pub(crate) fn supervise(
     // the initial deep copy.
     let mut restart: Option<Snapshot> = shards.is_some().then(|| gpu.snapshot(&st));
     let mut stalled = false;
+    // The engine track lives here, outside the machine, so a rollback
+    // cannot erase the recovery history it records.
+    let trace = cfg.telemetry.is_some();
+    let mut engine: Ring<(u64, TelemetryEvent)> =
+        Ring::new(cfg.telemetry.map_or(1, |t| t.capacity));
+    let mut last_watermark: Option<u64> = None;
     while !gpu.finished() && st.cycle < max_cycles && !stalled {
+        if trace && watchdog.is_some() {
+            let wm = gpu.progress_watermark(&st);
+            if last_watermark != Some(wm) {
+                engine.push((st.cycle, TelemetryEvent::WatermarkUpdate { watermark: wm }));
+                last_watermark = Some(wm);
+            }
+        }
         let stop = match cfg.checkpoint_every {
             Some(k) if k > 0 => max_cycles.min((st.cycle / k + 1) * k),
             _ => max_cycles,
@@ -338,6 +452,15 @@ pub(crate) fn supervise(
                         } else {
                             degrade(n)
                         };
+                        if trace {
+                            engine.push((
+                                snap.cycle(),
+                                TelemetryEvent::Recovery {
+                                    from_shards: n as u32,
+                                    to_shards: to_shards.map_or(0, |s| s as u32),
+                                },
+                            ));
+                        }
                         recoveries.push(RecoveryEvent {
                             at_cycle: snap.cycle(),
                             from_shards: n,
@@ -358,6 +481,9 @@ pub(crate) fn supervise(
         if cfg.checkpoint_every.is_some() && !stalled && !gpu.finished() && st.cycle < max_cycles {
             restart = Some(gpu.snapshot(&st));
             checkpoints += 1;
+            if trace {
+                engine.push((st.cycle, TelemetryEvent::CheckpointCut));
+            }
         }
     }
     let outcome = if stalled {
@@ -368,11 +494,16 @@ pub(crate) fn supervise(
         RunOutcome::TimedOut
     };
     let stats = gpu.finish(st);
+    let telemetry = trace.then(|| {
+        let (sms, mem) = gpu.take_telemetry();
+        assemble(sms, mem, engine)
+    });
     RunReport {
         stats,
         outcome,
         recoveries,
         checkpoints,
+        telemetry,
     }
 }
 

@@ -41,6 +41,6 @@ pub mod prelude {
         LaunchPlan, Occupancy, ResourceKind, SchedulerKind, Threshold,
     };
     pub use grs_isa::{GlobalPattern, Kernel, KernelBuilder, Program};
-    pub use grs_sim::{MemoryModel, RunConfig, SharingMode, SimStats, Simulator};
+    pub use grs_sim::{MemoryModel, RunConfig, SharingMode, SimStats, Simulator, TelemetryConfig};
     pub use grs_workloads as workloads;
 }
