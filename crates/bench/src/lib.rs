@@ -8,6 +8,7 @@
 pub mod experiments;
 pub mod perf;
 pub mod runner;
+pub mod scenario;
 pub mod trace;
 
 pub use runner::{run_all, run_all_report, Job, JobResult};

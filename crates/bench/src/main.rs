@@ -24,6 +24,12 @@
 //!            Perfetto-loadable Chrome trace (and optionally a metrics
 //!            CSV): repro trace [conv1-28|hotspot-28] [--out=trace.json]
 //!            [--metrics=metrics.csv]
+//!   run      run one scenario — a fixed benchmark name or a generated
+//!            stress-profile spec — across the baseline/sharing config
+//!            matrix and print the comparison table:
+//!            repro run <name|gen:<family>:<seed>[:<size>]> [--check]
+//!            (--check re-runs the baseline on the per-cycle reference and
+//!            2-shard engines and asserts bit-identical statistics)
 //!   perf-gate  scheduled perf-regression gate: measure the primary
 //!            fast-forward speedup and exit nonzero below the floor
 //!            (default 5x, override with --min-speedup=<x>)
@@ -32,7 +38,7 @@
 //!
 //! `--quick` divides grid sizes by 4 for fast smoke runs.
 
-use grs_bench::{experiments, perf, trace};
+use grs_bench::{experiments, perf, scenario, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -76,6 +82,23 @@ fn main() {
                 .unwrap_or("trace.json");
             let metrics = args.iter().find_map(|a| a.strip_prefix("--metrics="));
             if let Err(msg) = trace::run_trace(scenario, out, metrics, quick) {
+                eprintln!("{msg}");
+                std::process::exit(1);
+            }
+        }
+        "run" => {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            let check = args.iter().any(|a| a == "--check");
+            let Some(spec) = args
+                .iter()
+                .filter(|a| !a.starts_with("--") && *a != "run")
+                .map(String::as_str)
+                .next()
+            else {
+                eprintln!("usage: repro run <name|gen:<family>:<seed>[:<size>]> [--check]");
+                std::process::exit(2);
+            };
+            if let Err(msg) = scenario::run_scenario(spec, quick, check) {
                 eprintln!("{msg}");
                 std::process::exit(1);
             }

@@ -113,10 +113,12 @@ pub fn scenario_config_event() -> RunConfig {
     scenario_config().with_memory_model(MemoryModel::Event)
 }
 
-/// Run the `repro perf` suite: the primary scenario plus three secondary
-/// points (the same scenario under the event memory model, stock latency,
-/// and the full default grid) for context. Returns the measurements in
-/// report order.
+/// Run the `repro perf` suite: the primary scenario plus secondary points
+/// (the same scenario under the event memory model, stock latency, and the
+/// full default grid) for context, and one *generated* stress profile —
+/// the pinned `mshr-thrash` spec under the loaded event model, a
+/// back-pressure-heavy point no hand-built Set kernel reaches. Returns the
+/// measurements in report order.
 pub fn run_suite(reps: u32) -> Vec<Measurement> {
     let kernel = scenario_kernel();
     let primary = scenario_config();
@@ -124,11 +126,14 @@ pub fn run_suite(reps: u32) -> Vec<Measurement> {
     let stock = RunConfig::baseline_lrr();
     let mut full_grid = grs_workloads::set2::conv1();
     full_grid.grid_blocks = 168;
+    let thrash = grs_workloads::benchmark("gen:mshr-thrash:42:medium")
+        .expect("pinned generator spec resolves");
     vec![
         measure("conv1-28/dram1600", &kernel, &primary, reps),
         measure("conv1-28/dram1600/event", &kernel, &event, reps),
         measure("conv1-28/stock", &kernel, &stock, reps),
         measure("conv1-168/dram1600", &full_grid, &primary, reps),
+        measure("gen:mshr-thrash:42:medium/event", &thrash, &event, reps),
     ]
 }
 

@@ -5,6 +5,7 @@ use crate::kernel::Kernel;
 use crate::pattern::{GlobalPattern, SharedPattern};
 use crate::program::Program;
 use crate::reg::Reg;
+use crate::validate::{validate, ValidateError};
 
 /// Fluent builder for [`Kernel`]s; used by the workload suite and the
 /// examples. Register operands are cycled deterministically over the declared
@@ -24,6 +25,10 @@ pub struct KernelBuilder {
     // registers the roller draws from: [window_lo, window_hi)
     window_lo: u16,
     window_hi: u16,
+    // a caller-set window was active while it clamped to < 2 registers, so
+    // rolled sources aliased destinations; latched for build() to reject
+    window_set: bool,
+    narrow_window: Option<(u16, u16)>,
     // most recent destination: arithmetic chains on it, modelling the
     // load-to-use and op-to-op dependences real kernels have
     last_dst: Option<Reg>,
@@ -43,6 +48,8 @@ impl KernelBuilder {
             cursor: 0,
             window_lo: 0,
             window_hi: u16::MAX,
+            window_set: false,
+            narrow_window: None,
             last_dst: None,
         }
     }
@@ -52,9 +59,15 @@ impl KernelBuilder {
     /// handful of low registers; under register sharing those phases stay in
     /// the private partition, which is what lets non-owner warps progress
     /// (paper Secs. III-A, IV-B). Pass `hi = u16::MAX` for "to the end".
+    ///
+    /// A window that clamps to fewer than **two** registers (against the
+    /// declared `regs_per_thread`) would make every rolled source alias its
+    /// destination; [`Self::build`] rejects such a builder with
+    /// [`ValidateError::NarrowRegWindow`].
     pub fn reg_window(mut self, lo: u16, hi: u16) -> Self {
         self.window_lo = lo;
         self.window_hi = hi;
+        self.window_set = true;
         self.cursor = 0;
         self
     }
@@ -86,6 +99,9 @@ impl KernelBuilder {
     fn roll(&mut self) -> Reg {
         let lo = self.window_lo.min(self.regs_per_thread as u16 - 1);
         let hi = self.window_hi.min(self.regs_per_thread as u16).max(lo + 1);
+        if self.window_set && hi - lo < 2 && self.narrow_window.is_none() {
+            self.narrow_window = Some((self.window_lo, self.window_hi));
+        }
         let r = Reg(lo + self.cursor % (hi - lo));
         self.cursor = self.cursor.wrapping_add(1);
         r
@@ -234,17 +250,33 @@ impl KernelBuilder {
         self.instrs.len()
     }
 
-    /// Finish with an `Exit` and produce the kernel.
-    pub fn build(mut self) -> Kernel {
+    /// Finish with an `Exit` and produce the kernel, or report why the
+    /// builder's output is ill-formed: a [`Self::reg_window`] that clamped
+    /// to fewer than 2 registers while operands were rolled (silent
+    /// src/dst aliasing), or any [`validate`] failure on the built kernel.
+    pub fn try_build(mut self) -> Result<Kernel, ValidateError> {
+        if let Some((lo, hi)) = self.narrow_window {
+            return Err(ValidateError::NarrowRegWindow { lo, hi });
+        }
         self.instrs.push(Instr::new(Op::Exit, None, &[]));
-        Kernel::new(
+        let kernel = Kernel::new(
             self.name,
             self.threads_per_block,
             self.regs_per_thread,
             self.smem_per_block,
             self.grid_blocks,
             Program::new(self.instrs),
-        )
+        );
+        validate(&kernel)?;
+        Ok(kernel)
+    }
+
+    /// Finish with an `Exit` and produce the kernel; panics where
+    /// [`Self::try_build`] would report an error.
+    pub fn build(self) -> Kernel {
+        let name = self.name.clone();
+        self.try_build()
+            .unwrap_or_else(|e| panic!("KernelBuilder::build({name}): {e}"))
     }
 }
 
@@ -281,6 +313,79 @@ mod tests {
             .ialu(50)
             .build();
         assert!(k.program.max_reg().unwrap() < 3);
+    }
+
+    #[test]
+    fn narrow_reg_window_is_rejected() {
+        // A one-register window aliases src and dst on every roll.
+        let err = KernelBuilder::new("narrow")
+            .regs_per_thread(16)
+            .reg_window(3, 4)
+            .ialu(2)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::NarrowRegWindow { lo: 3, hi: 4 });
+
+        // A window that *clamps* to one register (hi past the register
+        // file) is just as degenerate.
+        let err = KernelBuilder::new("clamped")
+            .regs_per_thread(6)
+            .reg_window(5, 100)
+            .ialu(1)
+            .try_build()
+            .unwrap_err();
+        assert_eq!(err, ValidateError::NarrowRegWindow { lo: 5, hi: 100 });
+
+        // An empty window degenerates the same way.
+        assert!(matches!(
+            KernelBuilder::new("empty")
+                .regs_per_thread(16)
+                .reg_window(4, 4)
+                .ialu(1)
+                .try_build(),
+            Err(ValidateError::NarrowRegWindow { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than 2 registers")]
+    fn build_panics_on_a_narrow_window() {
+        let _ = KernelBuilder::new("narrow")
+            .regs_per_thread(16)
+            .reg_window(3, 4)
+            .ialu(2)
+            .build();
+    }
+
+    #[test]
+    fn two_register_window_is_accepted_and_never_aliases() {
+        let k = KernelBuilder::new("two-wide")
+            .regs_per_thread(16)
+            .reg_window(4, 6)
+            .ialu(8)
+            .build();
+        validate(&k).unwrap();
+        for i in &k.program.instrs {
+            if let (Some(d), true) = (i.dst, i.op == crate::instr::Op::IAlu) {
+                // The chained source may equal the destination only through
+                // the explicit `[a, d]` shape, never via a rolled alias of
+                // a fresh destination: with 2 registers the roller must
+                // alternate.
+                assert!(d.0 == 4 || d.0 == 5);
+            }
+        }
+    }
+
+    #[test]
+    fn an_unused_narrow_window_is_harmless() {
+        // Declaring a narrow window but never rolling under it aliases
+        // nothing; the builder accepts it.
+        let k = KernelBuilder::new("unused")
+            .regs_per_thread(16)
+            .ialu(2)
+            .reg_window(3, 4)
+            .build();
+        validate(&k).unwrap();
     }
 
     #[test]

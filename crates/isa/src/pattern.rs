@@ -59,6 +59,34 @@ impl GlobalPattern {
             GlobalPattern::Scatter { txns, .. } => txns.max(1) as u32,
         }
     }
+
+    /// Clamped [`GlobalPattern::Scatter`] constructor: `txns` is held to the
+    /// architectural 1..=32 band (one warp has 32 lanes, so a warp access
+    /// can produce at most 32 distinct line transactions) and `span_lines`
+    /// to at least 1. The generator frontend draws scatter shapes from
+    /// seeded streams and relies on this clamp for unconditional validity.
+    #[inline]
+    pub fn scatter(span_lines: u32, txns: u8) -> Self {
+        GlobalPattern::Scatter {
+            span_lines: span_lines.max(1),
+            txns: txns.clamp(1, 32),
+        }
+    }
+
+    /// Size, in 128 B lines, of the address region this pattern confines a
+    /// block's accesses to — the per-block working set that determines
+    /// cache pressure. `None` for [`GlobalPattern::Stream`], whose footprint
+    /// grows with every dynamic execution instead of wrapping.
+    #[inline]
+    pub fn footprint_lines(self) -> Option<u32> {
+        match self {
+            GlobalPattern::Stream => None,
+            GlobalPattern::BlockTile { tile_lines } | GlobalPattern::KernelTile { tile_lines } => {
+                Some(tile_lines)
+            }
+            GlobalPattern::Scatter { span_lines, .. } => Some(span_lines),
+        }
+    }
 }
 
 /// How a warp addresses the **scratchpad** (shared memory).
@@ -122,6 +150,45 @@ mod tests {
             .transactions(),
             7
         );
+    }
+
+    #[test]
+    fn scatter_constructor_clamps_to_the_legal_band() {
+        assert_eq!(
+            GlobalPattern::scatter(0, 0),
+            GlobalPattern::Scatter {
+                span_lines: 1,
+                txns: 1
+            }
+        );
+        assert_eq!(
+            GlobalPattern::scatter(64, 200),
+            GlobalPattern::Scatter {
+                span_lines: 64,
+                txns: 32
+            }
+        );
+        assert_eq!(
+            GlobalPattern::scatter(7, 7),
+            GlobalPattern::Scatter {
+                span_lines: 7,
+                txns: 7
+            }
+        );
+    }
+
+    #[test]
+    fn footprint_lines_names_the_wrapping_patterns() {
+        assert_eq!(GlobalPattern::Stream.footprint_lines(), None);
+        assert_eq!(
+            GlobalPattern::BlockTile { tile_lines: 8 }.footprint_lines(),
+            Some(8)
+        );
+        assert_eq!(
+            GlobalPattern::KernelTile { tile_lines: 5 }.footprint_lines(),
+            Some(5)
+        );
+        assert_eq!(GlobalPattern::scatter(64, 4).footprint_lines(), Some(64));
     }
 
     #[test]

@@ -34,6 +34,15 @@ pub enum ValidateError {
     /// More threads per block than the architectural maximum the ISA allows
     /// (1024, the CUDA limit for the modelled generation).
     BlockTooLarge { threads: u32 },
+    /// A [`crate::KernelBuilder::reg_window`] clamped to fewer than two
+    /// registers, so every rolled source operand would silently alias its
+    /// destination (reported by the builder, never by a built [`Kernel`]).
+    NarrowRegWindow {
+        /// Requested window low bound.
+        lo: u16,
+        /// Requested window high bound (exclusive).
+        hi: u16,
+    },
 }
 
 impl std::fmt::Display for ValidateError {
@@ -68,6 +77,13 @@ impl std::fmt::Display for ValidateError {
             ValidateError::EmptyLaunch => write!(f, "kernel launches zero threads or blocks"),
             ValidateError::BlockTooLarge { threads } => {
                 write!(f, "{threads} threads per block exceeds the 1024 limit")
+            }
+            ValidateError::NarrowRegWindow { lo, hi } => {
+                write!(
+                    f,
+                    "reg_window [{lo}, {hi}) holds fewer than 2 registers after \
+                     clamping; rolled sources would alias their destinations"
+                )
             }
         }
     }

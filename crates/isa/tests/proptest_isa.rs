@@ -34,7 +34,7 @@ proptest! {
     }
 
     #[test]
-    fn reg_window_keeps_operands_in_range(lo in 0u16..8, width in 1u16..8, regs in 8u32..=32) {
+    fn reg_window_keeps_operands_in_range(lo in 0u16..8, width in 2u16..8, regs in 8u32..=32) {
         let k = KernelBuilder::new("w")
             .regs_per_thread(regs)
             .reg_window(lo, lo + width)
@@ -44,5 +44,31 @@ proptest! {
         let max = k.program.max_reg().unwrap_or(0);
         prop_assert!(u32::from(max) < regs);
         prop_assert!(max < lo + width || max < regs as u16);
+    }
+
+    #[test]
+    fn one_register_windows_are_always_rejected(lo in 0u16..31, regs in 8u32..=32) {
+        // Any window clamping to < 2 registers — declared width 1, or a
+        // wider request starting at the register file's last register —
+        // must fail `try_build` with `NarrowRegWindow`, never silently
+        // alias operands.
+        let narrow = KernelBuilder::new("narrow")
+            .regs_per_thread(regs)
+            .reg_window(lo, lo + 1)
+            .ialu(4)
+            .try_build();
+        prop_assert!(matches!(
+            narrow,
+            Err(grs_isa::ValidateError::NarrowRegWindow { .. })
+        ));
+        let clamped = KernelBuilder::new("clamped")
+            .regs_per_thread(regs)
+            .reg_window(regs as u16 - 1, u16::MAX)
+            .ialu(4)
+            .try_build();
+        prop_assert!(matches!(
+            clamped,
+            Err(grs_isa::ValidateError::NarrowRegWindow { .. })
+        ));
     }
 }

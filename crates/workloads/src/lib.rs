@@ -17,11 +17,19 @@
 //! documents this substitution; each kernel's doc comment records the
 //! behavioural contract it implements.
 
+//!
+//! Beyond the fixed 19, [`gen`] is a seeded random-kernel generator: named
+//! stress-profile families (`gen:<family>:<seed>[:<size>]`) whose kernels
+//! are pure functions of their spec — the workload frontend behind the
+//! cross-engine differential harness and the `repro run gen:...` CLI.
+
+pub mod gen;
 pub mod set1;
 pub mod set2;
 pub mod set3;
 pub mod suite;
 
+pub use gen::{generate, pinned_corpus, Family, GenSpec, SizeClass};
 pub use suite::{
     all_benchmarks, benchmark, set1_benchmarks, set2_benchmarks, set3_benchmarks, BenchSet,
 };

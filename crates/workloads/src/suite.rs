@@ -73,10 +73,15 @@ pub fn all_benchmarks() -> Vec<(BenchSet, Kernel)> {
         .collect()
 }
 
-/// Look a benchmark up by its short display name (case-insensitive).
-/// Set-3's `backprop` is distinguished as `backprop-lf`.
+/// Look a benchmark up by its short display name (case-insensitive), or —
+/// for names starting with `gen:` — build the generated kernel named by the
+/// spec (`gen:<family>:<seed>[:<size>]`, see [`crate::gen`]). Set-3's
+/// `backprop` is distinguished as `backprop-lf`.
 pub fn benchmark(name: &str) -> Option<Kernel> {
     let n = name.to_ascii_lowercase();
+    if n.starts_with("gen:") {
+        return crate::gen::GenSpec::parse(&n).ok().map(|s| s.build());
+    }
     let k = match n.as_str() {
         "backprop" => set1::backprop(),
         "b+tree" | "btree" => set1::btree(),
@@ -125,6 +130,22 @@ mod tests {
         }
         assert!(benchmark("backprop-lf").is_some());
         assert!(benchmark("nope").is_none());
+    }
+
+    #[test]
+    fn lookup_routes_generator_specs() {
+        let k = benchmark("gen:mshr-thrash:42:small").expect("gen spec resolves");
+        assert_eq!(k.name, "gen:mshr-thrash:42:small");
+        // Same spec → identical kernel (the generator is pure).
+        assert_eq!(benchmark("gen:mshr-thrash:42:small"), Some(k));
+        // Size defaults to small; case-insensitive like the fixed names.
+        assert_eq!(
+            benchmark("gen:bursty:7"),
+            benchmark("GEN:Bursty:7:SMALL"),
+            "default size + case folding"
+        );
+        assert!(benchmark("gen:nope:1").is_none());
+        assert!(benchmark("gen:bursty:notanumber").is_none());
     }
 
     #[test]

@@ -1,79 +1,24 @@
 //! Property tests over randomly generated kernels: the simulator must
 //! complete them deterministically, retire exactly the grid's dynamic
 //! instruction count, and never deadlock under any sharing configuration.
+//!
+//! Kernels are drawn from the seeded generator families
+//! (`workloads::gen`) rather than an ad-hoc local spec: every stress
+//! profile the differential harness exercises — pointer chasing, bursty
+//! phases, barrier fences, divergent tiles, MSHR thrash, mixed — flows
+//! through the end-to-end completion and no-deadlock properties too.
 
-use gpu_resource_sharing::isa::GlobalPattern as GP;
 use gpu_resource_sharing::prelude::*;
 use proptest::prelude::*;
+use workloads::gen::{Family, GenSpec, SizeClass};
 
-#[derive(Debug, Clone)]
-struct KernelSpec {
-    threads_log2: u32, // 32..512 threads
-    regs: u32,
-    smem: u32,
-    grid: u32,
-    alu: u32,
-    mem_kind: u8,
-    trips: u16,
-    barrier: bool,
-    smem_bytes_touched: u32,
-}
-
-fn spec() -> impl Strategy<Value = KernelSpec> {
-    (
-        1u32..=4,    // threads = 32 << n
-        4u32..=48,   // regs/thread
-        0u32..=6000, // smem/block
-        1u32..=40,   // grid blocks
-        1u32..=8,    // alu per iteration
-        0u8..=3,     // memory pattern
-        0u16..=12,   // loop trips
-        proptest::bool::ANY,
-        0u32..=512,
-    )
-        .prop_map(
-            |(tl, regs, smem, grid, alu, mem_kind, trips, barrier, touched)| KernelSpec {
-                threads_log2: tl,
-                regs,
-                smem,
-                grid,
-                alu,
-                mem_kind,
-                trips,
-                barrier,
-                smem_bytes_touched: touched,
-            },
-        )
-}
-
-fn build(s: &KernelSpec) -> gpu_resource_sharing::isa::Kernel {
-    let mut b = KernelBuilder::new("prop")
-        .threads_per_block(32 << s.threads_log2)
-        .regs_per_thread(s.regs)
-        .smem_per_block(s.smem)
-        .grid_blocks(s.grid);
-    let top = b.here();
-    b = match s.mem_kind {
-        0 => b.ld_global(GP::Stream),
-        1 => b.ld_global(GP::BlockTile { tile_lines: 16 }),
-        2 => b.ld_global(GP::Scatter {
-            span_lines: 64,
-            txns: 2,
-        }),
-        _ => b.ld_global(GP::KernelTile { tile_lines: 16 }),
-    };
-    b = b.ialu(s.alu).ffma(2);
-    if s.smem > 64 {
-        let bytes = s.smem_bytes_touched.min(s.smem / 2).max(4);
-        b = b
-            .st_shared(0, bytes)
-            .ld_shared(s.smem / 2, bytes.min(s.smem - s.smem / 2));
-    }
-    if s.barrier {
-        b = b.barrier();
-    }
-    b = b.loop_back(top, s.trips).st_global(GP::Stream);
-    b.build()
+/// Any `(family, seed)` point at the small size class.
+fn spec() -> impl Strategy<Value = GenSpec> {
+    (0usize..Family::ALL.len(), 0u64..u64::MAX).prop_map(|(fam, seed)| GenSpec {
+        family: Family::ALL[fam],
+        seed,
+        size: SizeClass::Small,
+    })
 }
 
 proptest! {
@@ -81,13 +26,13 @@ proptest! {
 
     #[test]
     fn random_kernels_complete_and_count_instructions(s in spec()) {
-        let k = build(&s);
+        let k = s.build();
         prop_assert!(gpu_resource_sharing::isa::validate(&k).is_ok());
         let mut cfg = RunConfig::baseline_lrr();
         cfg.gpu.num_sms = 2;
-        cfg.max_cycles = 5_000_000;
+        cfg.max_cycles = 20_000_000;
         let stats = Simulator::new(cfg).run(&k);
-        prop_assert!(!stats.timed_out);
+        prop_assert!(!stats.timed_out, "{} timed out", s.scenario_name());
         prop_assert_eq!(stats.blocks_completed, u64::from(k.grid_blocks));
         let expected = k.dynamic_instrs_per_warp()
             * u64::from(k.warps_per_block())
@@ -97,14 +42,14 @@ proptest! {
 
     #[test]
     fn random_kernels_never_deadlock_under_sharing(s in spec()) {
-        let k = build(&s);
+        let k = s.build();
         for base in [RunConfig::paper_register_sharing(), RunConfig::paper_scratchpad_sharing()] {
             let mut cfg = base;
             cfg.gpu.num_sms = 2;
-            cfg.max_cycles = 5_000_000;
+            cfg.max_cycles = 20_000_000;
             match Simulator::new(cfg).try_run(&k) {
                 Ok(stats) => {
-                    prop_assert!(!stats.timed_out, "deadlock/livelock: {s:?}");
+                    prop_assert!(!stats.timed_out, "deadlock/livelock: {}", s.scenario_name());
                     prop_assert_eq!(stats.blocks_completed, u64::from(k.grid_blocks));
                 }
                 Err(e) => {
