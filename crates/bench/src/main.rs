@@ -30,6 +30,14 @@
 //!            repro run <name|gen:<family>:<seed>[:<size>]> [--check]
 //!            (--check re-runs the baseline on the per-cycle reference and
 //!            2-shard engines and asserts bit-identical statistics)
+//!   sweep    batch scenarios through the sweep service and print its
+//!            dedup/memoization accounting:
+//!            repro sweep <spec>... [--matrix] [--warm-check]
+//!            (specs are benchmark names, gen:... specs, or the literal
+//!            `corpus` for the pinned generated corpus; --matrix crosses
+//!            every spec with the `repro run` config matrix; --warm-check
+//!            resubmits the whole batch and asserts the warm pass is 100%
+//!            memo hits with bit-identical statistics)
 //!   perf-gate  scheduled perf-regression gate: measure the primary
 //!            fast-forward speedup and exit nonzero below the floor
 //!            (default 5x, override with --min-speedup=<x>)
@@ -38,7 +46,7 @@
 //!
 //! `--quick` divides grid sizes by 4 for fast smoke runs.
 
-use grs_bench::{experiments, perf, scenario, trace};
+use grs_bench::{experiments, perf, scenario, sweep, trace};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -101,6 +109,20 @@ fn main() {
             if let Err(msg) = scenario::run_scenario(spec, quick, check) {
                 eprintln!("{msg}");
                 std::process::exit(1);
+            }
+        }
+        "sweep" => {
+            let args: Vec<String> = std::env::args().skip(1).collect();
+            let matrix = args.iter().any(|a| a == "--matrix");
+            let warm_check = args.iter().any(|a| a == "--warm-check");
+            let specs: Vec<String> = args
+                .iter()
+                .filter(|a| !a.starts_with("--") && *a != "sweep")
+                .cloned()
+                .collect();
+            if let Err(msg) = sweep::run_sweep(&specs, matrix, warm_check, quick) {
+                eprintln!("{msg}");
+                std::process::exit(if specs.is_empty() { 2 } else { 1 });
             }
         }
         "perf-gate" => {

@@ -32,7 +32,27 @@
 use std::time::Instant;
 
 use grs_isa::Kernel;
-use grs_sim::{FaultPlan, MemoryModel, RunConfig, Simulator, TelemetryConfig};
+use grs_sim::{FaultPlan, MemoryModel, RunConfig, SimStats, Simulator, TelemetryConfig};
+
+use crate::service::SweepService;
+
+/// Canonical statistics for `(cfg, kernel)`, fetched through the global
+/// sweep service. Memoized: the perf reports and the scheduled gate share
+/// one reference simulation per configuration instead of each paying for
+/// their own. The *timed* loops below still drive the simulator directly —
+/// a memo hit has no wall-clock worth measuring — and cross-check their
+/// cycle counts against this canonical run.
+pub fn reference_stats(cfg: &RunConfig, kernel: &Kernel) -> SimStats {
+    let outcome = SweepService::global()
+        .submit(cfg.clone(), kernel.clone())
+        .wait();
+    outcome
+        .report
+        .as_ref()
+        .expect("reference simulation failed")
+        .stats
+        .clone()
+}
 
 /// One timed engine comparison.
 #[derive(Debug, Clone)]
@@ -96,6 +116,11 @@ pub fn measure(name: &str, kernel: &Kernel, cfg: &RunConfig, reps: u32) -> Measu
     assert_eq!(
         cycles[0], cycles[1],
         "fast-forward changed the simulated cycle count"
+    );
+    assert_eq!(
+        cycles[0],
+        reference_stats(cfg, kernel).cycles,
+        "timed engines disagree with the service's canonical run"
     );
     Measurement {
         name: name.to_string(),

@@ -1,23 +1,30 @@
-//! Parallel simulation runner.
+//! Parallel simulation runner — the batch client of the sweep service.
 //!
 //! Individual simulations are strictly serial (cycle-accurate state), but
-//! experiments sweep many independent (configuration, kernel) pairs; those
-//! are split into contiguous chunks, one per worker thread on a
-//! `std::thread::scope`. Each worker owns its jobs outright and returns its
-//! chunk's results, which concatenate back in job order — no shared result
-//! slots, no locks, no cloning of job data.
+//! experiments sweep many independent (configuration, kernel) pairs. Those
+//! are submitted to the process-wide [`SweepService`] ([`SweepService::global`]),
+//! which content-hashes each job, answers duplicates from its memo store or
+//! by attaching to the identical in-flight run, and executes the rest on
+//! its worker pool (the caller helps while waiting); results come back in
+//! job order — no shared result slots beyond the service, no cloning of
+//! job data.
 //!
-//! Sweeps are crash-hardened: every job runs under `catch_unwind`, a
-//! panicking job is retried once on the sequential engine (no worker
-//! threads, the most conservative configuration), and a job that still
-//! fails is *recorded* in the sweep report ([`run_all_report`]) rather than
-//! aborting the other few hundred simulations of an overnight sweep.
-
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::thread;
+//! Sweeps are crash-hardened by the service's per-job ladder: every job
+//! runs under the full supervision stack plus `catch_unwind`, a failing job
+//! is retried once on the sequential engine (no worker threads, the most
+//! conservative configuration), and a job that still fails is *recorded* in
+//! the sweep report ([`run_all_report`]) rather than aborting the other few
+//! hundred simulations of an overnight sweep.
+//!
+//! Because the service is process-wide, duplicate (configuration, kernel)
+//! pairs are simulated **once per process**, not once per occurrence — a
+//! suite listing the same benchmark twice, or two experiments sharing a
+//! baseline row, hit the memo store on every repeat.
 
 use grs_isa::Kernel;
-use grs_sim::{RunConfig, SimStats, Simulator};
+use grs_sim::{RunConfig, SimStats};
+
+use crate::service::SweepService;
 
 /// One simulation to run.
 #[derive(Debug, Clone)]
@@ -67,84 +74,15 @@ pub struct JobResult {
     pub error: Option<String>,
 }
 
-fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
-    payload
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
-        .unwrap_or_else(|| "non-string panic payload".to_string())
-}
-
-fn attempt(cfg: &RunConfig, kernel: &Kernel) -> Result<SimStats, String> {
-    let sim = Simulator::new(cfg.clone());
-    catch_unwind(AssertUnwindSafe(|| sim.run(kernel))).map_err(panic_message)
-}
-
-fn run_job(job: Job) -> JobResult {
-    match attempt(&job.cfg, &job.kernel) {
-        Ok(stats) => JobResult {
-            label: job.label,
-            stats: Some(stats),
-            attempts: 1,
-            recovered: false,
-            error: None,
-        },
-        Err(first) => {
-            // Retry once on the sequential engine — no worker threads, no
-            // shard protocol, the smallest possible surface.
-            let retry = job.cfg.clone().with_shards(None);
-            match attempt(&retry, &job.kernel) {
-                Ok(stats) => JobResult {
-                    label: job.label,
-                    stats: Some(stats),
-                    attempts: 2,
-                    recovered: true,
-                    error: Some(first),
-                },
-                Err(second) => JobResult {
-                    label: job.label,
-                    stats: None,
-                    attempts: 2,
-                    recovered: false,
-                    error: Some(second),
-                },
-            }
-        }
-    }
-}
-
-/// Run every job, in parallel across available cores, with per-job crash
-/// isolation (see the module docs); results come back in job order, one
-/// [`JobResult`] per job.
+/// Run every job through the process-wide [`SweepService`] — in parallel
+/// across its worker pool, deduplicated against in-flight and memoized
+/// work, with per-job crash isolation (see the module docs); results come
+/// back in job order, one [`JobResult`] per job.
 pub fn run_all_report(jobs: Vec<Job>) -> Vec<JobResult> {
-    let n = jobs.len();
-    if n == 0 {
+    if jobs.is_empty() {
         return Vec::new();
     }
-    let workers = thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    let chunk_size = n.div_ceil(workers);
-    let mut chunks: Vec<Vec<Job>> = Vec::with_capacity(workers);
-    let mut rest = jobs;
-    while rest.len() > chunk_size {
-        let tail = rest.split_off(chunk_size);
-        chunks.push(std::mem::replace(&mut rest, tail));
-    }
-    chunks.push(rest);
-
-    thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| s.spawn(move || chunk.into_iter().map(run_job).collect::<Vec<_>>()))
-            .collect();
-        let mut out = Vec::with_capacity(n);
-        for h in handles {
-            out.extend(h.join().expect("runner worker panicked outside a job"));
-        }
-        out
-    })
+    SweepService::global().sweep(jobs)
 }
 
 /// Run every job, in parallel across available cores; results come back in

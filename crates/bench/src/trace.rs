@@ -318,7 +318,7 @@ pub fn run_trace(
     metrics: Option<&str>,
     quick: bool,
 ) -> Result<(), String> {
-    use grs_sim::{MemoryModel, RunConfig, Simulator, TelemetryConfig};
+    use grs_sim::{MemoryModel, RunConfig, TelemetryConfig};
     let (mut kernel, cfg) = match scenario {
         "conv1-28" => (
             crate::perf::scenario_kernel(),
@@ -342,8 +342,15 @@ pub fn run_trace(
         kernel.grid_blocks = (kernel.grid_blocks / 4).max(1);
     }
     let cfg = cfg.with_telemetry(Some(TelemetryConfig::default().with_sample_every(500)));
-    let report = Simulator::new(cfg)
-        .try_run_report(&kernel)
+    // Through the global sweep service: a re-traced scenario (same config,
+    // same kernel) is answered from the memo store — telemetry and all —
+    // and the printed summary carries the service's accounting.
+    let outcome = crate::service::SweepService::global()
+        .submit(cfg, kernel.clone())
+        .wait();
+    let report = outcome
+        .report
+        .as_ref()
         .map_err(|e| format!("simulation failed: {e}"))?;
     let telemetry = report.telemetry.as_ref().expect("telemetry was configured");
     let doc = render_chrome_trace(telemetry);
@@ -358,7 +365,10 @@ pub fn run_trace(
             telemetry.sm_samples.len() + telemetry.mem_samples.len()
         );
     }
-    print!("{}", report.summary());
+    print!(
+        "{}",
+        report.summary_with(Some(&crate::service::SweepService::global().stats()))
+    );
     println!("trace OK: {scenario}");
     Ok(())
 }

@@ -75,7 +75,7 @@ pub use mem::MemoryModel;
 pub use run::{RunConfig, SharingMode, Simulator};
 pub use stats::{MemStats, SimStats, SmStats};
 pub use supervise::{
-    FaultPlan, MemDiag, RecoveryEvent, RunOutcome, RunReport, SmDiag, StallDiagnosis,
+    FaultPlan, MemDiag, RecoveryEvent, RunOutcome, RunReport, ServiceStats, SmDiag, StallDiagnosis,
 };
 pub use telemetry::{
     MemSampleRow, SampleRow, StallReason, TelemetryConfig, TelemetryEvent, TelemetryReport,

@@ -139,6 +139,15 @@ impl FaultPlan {
             .count()
     }
 
+    /// The scheduled `(epoch, shard)` points, in plan order, independent of
+    /// whether they have fired. Two plans with equal points inject the same
+    /// deterministic fault schedule, so this is the plan's *identity* — what
+    /// a memoizing sweep service keys on when a fault plan rides along with
+    /// a job.
+    pub fn points(&self) -> Vec<(u64, usize)> {
+        self.faults.iter().map(|f| (f.epoch, f.shard)).collect()
+    }
+
     /// Consume the fault at `(epoch, shard)` if one is scheduled and has
     /// not fired yet. Called from worker threads and the coordinator.
     pub(crate) fn take(&self, epoch: u64, shard: usize) -> bool {
@@ -265,6 +274,66 @@ pub struct MemDiag {
     pub dram_queue_in_flight: u32,
 }
 
+/// Per-service counters of a memoizing sweep service (the `grs-bench`
+/// service layer): how many jobs were submitted, how many were answered
+/// without simulating (in-flight dedup and memo hits), and how the executed
+/// remainder fared. Lives here — next to [`RunReport`] — so a report
+/// rendered through [`RunReport::summary_with`] can surface the service
+/// context a result was served under.
+///
+/// Every run is deterministic by construction (the repository's
+/// bit-identity test suites pin this), which is what makes exact
+/// content-hash memoization sound: `deduped + memo_hits` submissions were
+/// answered from a single execution with *bit-identical* statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Jobs submitted to the service.
+    pub submitted: u64,
+    /// Submissions attached to an already in-flight identical job
+    /// (in-flight dedup; the subscriber shares the first submission's run).
+    pub deduped: u64,
+    /// Submissions answered from the memo store without simulating.
+    pub memo_hits: u64,
+    /// Jobs actually simulated by a worker.
+    pub executed: u64,
+    /// Executed jobs that recovered from a fault — a worker-level panic
+    /// retry or a supervision-ladder [`RecoveryEvent`] inside the run.
+    pub recovered: u64,
+    /// Executed jobs that failed even after the recovery path.
+    pub failed: u64,
+    /// Memo-store entries evicted by the bounded LRU.
+    pub evicted: u64,
+}
+
+impl ServiceStats {
+    /// Fraction of submissions answered without simulating (0 when nothing
+    /// was submitted).
+    pub fn hit_rate(&self) -> f64 {
+        if self.submitted == 0 {
+            0.0
+        } else {
+            (self.deduped + self.memo_hits) as f64 / self.submitted as f64
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "service: {} submitted, {} deduped in-flight, {} memo hits, \
+             {} executed, {} recovered, {} failed, {} evicted",
+            self.submitted,
+            self.deduped,
+            self.memo_hits,
+            self.executed,
+            self.recovered,
+            self.failed,
+            self.evicted
+        )
+    }
+}
+
 /// Everything a supervised run reports: the statistics (bit-identical to an
 /// unsupervised run of the same configuration), how it ended, the recovery
 /// path taken, and how many checkpoints were written.
@@ -294,6 +363,13 @@ impl RunReport {
     /// statistics, the stall breakdown, and the supervision/telemetry
     /// footprint.
     pub fn summary(&self) -> String {
+        self.summary_with(None)
+    }
+
+    /// [`Self::summary`] plus, when given, the [`ServiceStats`] of the sweep
+    /// service that served this report — so a memoized result prints the
+    /// dedup/memo context it was answered under.
+    pub fn summary_with(&self, service: Option<&ServiceStats>) -> String {
         use std::fmt::Write as _;
         let s = &self.stats;
         let mut out = String::new();
@@ -345,6 +421,9 @@ impl RunReport {
         }
         if let Some(t) = &self.telemetry {
             let _ = writeln!(out, "telemetry: {}", t.summary());
+        }
+        if let Some(s) = service {
+            let _ = writeln!(out, "{s}");
         }
         out
     }
